@@ -1,0 +1,69 @@
+// Ablation: selfish mining revenue vs attacker size (Eyal-Sirer).
+//
+// The paper bounds the adversary at 1/4 of the mining power because
+// "proof-of-work blockchains, Bitcoin-NG included, are vulnerable to selfish
+// mining by attackers larger than 1/4 of the network" (§2) under random
+// tie-breaking (gamma ~= 0.5). This sweep runs the SM1 attacker against an
+// honest Bitcoin network and reports its main-chain revenue share: the
+// crossover where revenue exceeds the power share should sit near 25%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "bitcoin/selfish_miner.hpp"
+
+int main() {
+  using namespace bng;
+  bench::print_header("Ablation: selfish mining (SM1) revenue vs attacker power");
+
+  const std::uint32_t n = std::min(bench::nodes(), 100u);
+  const std::uint32_t target = std::max(bench::blocks() * 5, 300u);
+  std::printf("%-8s %14s %14s %10s\n", "alpha", "revenue share", "advantage",
+              "abandoned");
+
+  for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
+    double revenue_sum = 0;
+    std::uint64_t abandoned = 0;
+    for (std::uint32_t seed = 1; seed <= bench::seeds(); ++seed) {
+      sim::ExperimentConfig cfg;
+      cfg.params = chain::Params::bitcoin();
+      cfg.params.block_interval = 10;
+      cfg.params.max_block_size = 4000;
+      cfg.num_nodes = n;
+      cfg.target_blocks = target;
+      cfg.drain_time = 60;
+      cfg.seed = 8600 + seed;
+      std::vector<double> powers(n, (1.0 - alpha) / (n - 1));
+      powers[0] = alpha;
+      cfg.custom_powers = powers;
+      cfg.node_factory = [](NodeId id, net::Network& net, chain::BlockPtr genesis,
+                            const protocol::NodeConfig& ncfg, Rng rng,
+                            protocol::IBlockObserver* obs)
+          -> std::unique_ptr<protocol::BaseNode> {
+        if (id != 0) return nullptr;
+        return std::make_unique<bitcoin::SelfishMiner>(id, net, std::move(genesis), ncfg,
+                                                       rng, obs);
+      };
+      sim::Experiment exp(cfg);
+      exp.run();
+      const auto& g = exp.global_tree();
+      std::uint32_t attacker_main = 0, total_main = 0;
+      for (std::uint32_t idx : g.path_from_genesis(g.best_tip())) {
+        if (idx == chain::BlockTree::kGenesisIndex) continue;
+        ++total_main;
+        if (g.entry(idx).block->miner() == 0) ++attacker_main;
+      }
+      revenue_sum += total_main > 0 ? static_cast<double>(attacker_main) / total_main : 0;
+      abandoned +=
+          static_cast<const bitcoin::SelfishMiner&>(*exp.nodes()[0]).branches_abandoned();
+    }
+    const double revenue = revenue_sum / bench::seeds();
+    std::printf("%-8.2f %13.1f%% %+13.1f%% %10llu\n", alpha, 100 * revenue,
+                100 * (revenue - alpha), static_cast<unsigned long long>(abandoned));
+  }
+
+  std::printf(
+      "\nexpected: advantage <= 0 below ~25%% power and grows past it — the\n"
+      "origin of the paper's 1/4 adversary bound (and why NG refuses to give\n"
+      "microblocks any chain weight, §5.1).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the primitives underpinning the
+// simulation: hashing, Merkle trees, ECDSA, the event queue, fork choice,
+// and mempool assembly. These bound how far the experiment harness scales.
+#include <benchmark/benchmark.h>
+
+#include "chain/block_tree.hpp"
+#include "chain/mempool.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "net/event_queue.hpp"
+
+namespace {
+
+using namespace bng;
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Sha256d(benchmark::State& state) {
+  std::vector<std::uint8_t> data(80, 0x11);  // block-header sized
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256d(data));
+}
+BENCHMARK(BM_Sha256d);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i)
+    leaves.push_back(crypto::sha256(std::string("tx") + std::to_string(i)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Arg(100)->Arg(2000);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  Rng rng(1);
+  auto sk = crypto::PrivateKey::generate(rng);
+  auto msg = crypto::sha256("microblock header");
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sign(sk, msg));
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  Rng rng(1);
+  auto sk = crypto::PrivateKey::generate(rng);
+  auto pk = sk.public_key();
+  auto msg = crypto::sha256("microblock header");
+  auto sig = crypto::sign(sk, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::verify(pk, msg, sig));
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    net::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i)
+      q.schedule_at(static_cast<double>((i * 2654435761u) % 100000), [&fired] { ++fired; });
+    q.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(10000);
+
+chain::BlockPtr bench_block(chain::BlockType type, const Hash256& prev, std::uint64_t salt) {
+  chain::BlockHeader h;
+  h.type = type;
+  h.prev = prev;
+  h.nonce = salt;
+  return std::make_shared<chain::Block>(h, std::vector<chain::TxPtr>{}, 0);
+}
+
+void BM_BlockTreeInsertChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(1);
+    chain::BlockTree tree(chain::make_genesis(1, kCoin), chain::TieBreak::kRandom,
+                          chain::BlockTree::ForkChoice::kHeaviestChain, &rng);
+    Hash256 prev = tree.entry(0).block->id();
+    for (int i = 0; i < state.range(0); ++i) {
+      auto block = bench_block(chain::BlockType::kPow, prev, static_cast<std::uint64_t>(i));
+      prev = block->id();
+      tree.insert(block, static_cast<double>(i), 1.0);
+    }
+    benchmark::DoNotOptimize(tree.best_tip());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockTreeInsertChain)->Arg(500);
+
+void BM_BlockTreeForkChoiceGhost(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(1);
+    chain::BlockTree tree(chain::make_genesis(1, kCoin), chain::TieBreak::kRandom,
+                          chain::BlockTree::ForkChoice::kHeaviestSubtree, &rng);
+    // Bushy tree: every block forks off a random existing block.
+    std::vector<Hash256> ids{tree.entry(0).block->id()};
+    for (int i = 0; i < state.range(0); ++i) {
+      const Hash256& parent = ids[rng.next_below(ids.size())];
+      auto block = bench_block(chain::BlockType::kPow, parent, static_cast<std::uint64_t>(i));
+      ids.push_back(block->id());
+      tree.insert(block, static_cast<double>(i), 1.0);
+    }
+    benchmark::DoNotOptimize(tree.best_tip());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockTreeForkChoiceGhost)->Arg(300);
+
+void BM_MempoolAssemble(benchmark::State& state) {
+  chain::Mempool pool;
+  for (int i = 0; i < 20000; ++i) {
+    chain::Outpoint op;
+    op.vout = static_cast<std::uint32_t>(i);
+    pool.submit(chain::make_transfer(op, 1000, chain::address_from_tag(i), 10, 300));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(pool.assemble(1'000'000));
+}
+BENCHMARK(BM_MempoolAssemble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Side-by-side comparison: Bitcoin vs Bitcoin-NG at matched payload
+// throughput — a miniature of the paper's evaluation (§8).
+//
+// Both protocols are configured to carry the same payload rate; Bitcoin
+// must use fast blocks to do it, Bitcoin-NG uses rare key blocks plus fast
+// microblocks. The security metrics diverge exactly as the paper predicts.
+#include <cstdio>
+
+#include "metrics/metrics.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+void report(const char* name, const bng::metrics::MetricsReport& m) {
+  std::printf("%-12s | %9.2f %9.2f %8.3f %8.3f %9.2f %8.2f\n", name,
+              m.time_to_prune_p90_s, m.time_to_win_p90_s, m.mining_power_utilization,
+              m.fairness, m.consensus_delay_s, m.tx_per_sec);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bng;
+  const std::uint32_t kNodes = 300;
+  const double payload_rate = 1'000'000.0 / 600.0;  // the operational 1MB/600s
+  const double freq = 0.2;                          // blocks (or microblocks) per second
+  const auto size = static_cast<std::size_t>(payload_rate / freq);
+
+  std::printf("comparing at %.1f blocks/s, %zu-byte blocks, %u nodes\n\n", freq, size,
+              kNodes);
+  std::printf("%-12s | %9s %9s %8s %8s %9s %8s\n", "protocol", "ttp[s]", "ttw[s]", "mpu",
+              "fairness", "consl[s]", "tx/s");
+
+  {
+    sim::ExperimentConfig cfg;
+    cfg.params = chain::Params::bitcoin();
+    cfg.params.block_interval = 1.0 / freq;
+    cfg.params.max_block_size = size;
+    cfg.num_nodes = kNodes;
+    cfg.target_blocks = 60;
+    cfg.seed = 1;
+    sim::Experiment exp(cfg);
+    exp.run();
+    report("bitcoin", metrics::compute_metrics(exp));
+  }
+  {
+    sim::ExperimentConfig cfg;
+    cfg.params = chain::Params::bitcoin_ng();
+    cfg.params.block_interval = 100.0;  // key blocks stay rare
+    cfg.params.microblock_interval = 1.0 / freq;
+    cfg.params.max_microblock_size = size;
+    cfg.num_nodes = kNodes;
+    cfg.target_blocks = 60;
+    cfg.seed = 1;
+    sim::Experiment exp(cfg);
+    exp.run();
+    report("bitcoin-ng", metrics::compute_metrics(exp));
+  }
+
+  std::printf(
+      "\nreading the table (paper §8): pushing Bitcoin to this rate costs mining\n"
+      "power (mpu << 1: forked blocks are wasted) and fairness, and keeps\n"
+      "time-to-prune high; Bitcoin-NG carries the same payload with mpu = 1,\n"
+      "fairness ~= 1 and fork windows bounded by key-block propagation.\n");
+  return 0;
+}

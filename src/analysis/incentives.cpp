@@ -1,0 +1,86 @@
+#include "analysis/incentives.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bng::analysis {
+
+namespace {
+void check_alpha(double alpha) {
+  if (alpha < 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("alpha must be in [0, 1)");
+}
+}  // namespace
+
+double inclusion_lower_bound(double alpha) {
+  check_alpha(alpha);
+  return alpha * (2.0 - alpha) / (1.0 + alpha - alpha * alpha);
+}
+
+double extension_upper_bound(double alpha) {
+  check_alpha(alpha);
+  return (1.0 - alpha) / (2.0 - alpha);
+}
+
+FeeWindow fee_window(double alpha) {
+  FeeWindow w;
+  w.lower = inclusion_lower_bound(alpha);
+  w.upper = extension_upper_bound(alpha);
+  w.feasible = w.lower < w.upper;
+  return w;
+}
+
+double max_feasible_alpha() {
+  // The window shrinks monotonically in alpha; bisect on feasibility.
+  double lo = 0.0, hi = 1.0 - 1e-12;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (fee_window(mid).feasible)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double inclusion_attack_revenue(double alpha, double r_leader) {
+  check_alpha(alpha);
+  return alpha * 1.0 + (1.0 - alpha) * alpha * (1.0 - r_leader);
+}
+
+double inclusion_honest_revenue(double alpha, double r_leader) {
+  check_alpha(alpha);
+  return r_leader + alpha * (1.0 - r_leader);
+}
+
+double simulate_inclusion_attack(double alpha, double r_leader, std::uint64_t trials,
+                                 Rng& rng) {
+  check_alpha(alpha);
+  double total = 0;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    // The attacker-leader holds the tx in a secret microblock and mines on it.
+    if (rng.uniform() < alpha) {
+      // Won the next key block itself: both fee shares.
+      total += 1.0;
+    } else {
+      // Someone else won; the tx is eventually placed by another leader and
+      // the attacker mines on top of that microblock like everyone else.
+      if (rng.uniform() < alpha) total += 1.0 - r_leader;
+    }
+  }
+  return total / static_cast<double>(trials);
+}
+
+double expected_wait_blocks(double honest_fraction) {
+  if (honest_fraction <= 0.0 || honest_fraction > 1.0)
+    throw std::invalid_argument("honest fraction must be in (0, 1]");
+  // The user's tx lands in the first honest block; block honesty is i.i.d.
+  // with probability h, so the wait is geometric with mean 1/h.
+  return 1.0 / honest_fraction;
+}
+
+double expected_wait_seconds(double honest_fraction, double block_interval_s) {
+  return expected_wait_blocks(honest_fraction) * block_interval_s;
+}
+
+}  // namespace bng::analysis

@@ -1,0 +1,59 @@
+// Closed-form incentive analysis of the fee split (paper §5.1) and
+// censorship resistance (§5.2).
+//
+// r_leader — the fraction of a transaction fee earned by the leader that
+// places it in a microblock — must be large enough that hiding a transaction
+// to capture 100% of its fee doesn't pay (transaction-inclusion attack), and
+// small enough that skipping a microblock to re-place its transactions
+// doesn't pay (longest-chain-extension attack). At alpha = 1/4 the window is
+// (36.8%, 42.9%) and the paper picks 40%; under a rushing adversary
+// (alpha up to 1/3) the window is empty.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace bng::analysis {
+
+/// Lower bound on r_leader from the transaction-inclusion attack:
+/// r > alpha(2-alpha) / (1 + alpha - alpha^2)   [= 1 - (1-a)/(1+a-a^2)]
+double inclusion_lower_bound(double alpha);
+
+/// Upper bound on r_leader from the longest-chain-extension attack:
+/// r < (1-alpha) / (2-alpha)
+double extension_upper_bound(double alpha);
+
+struct FeeWindow {
+  double lower = 0;  ///< exclusive
+  double upper = 0;  ///< exclusive
+  bool feasible = false;
+};
+
+/// The admissible r_leader interval for an attacker of size alpha.
+FeeWindow fee_window(double alpha);
+
+/// Largest alpha for which a feasible r_leader exists (bisection).
+double max_feasible_alpha();
+
+/// Expected revenue fraction (of one tx fee) for a leader running the
+/// transaction-inclusion attack: alpha*1 + (1-alpha)*alpha*(1-r).
+double inclusion_attack_revenue(double alpha, double r_leader);
+
+/// Honest revenue for the same leader: r (it places the tx immediately) plus
+/// the chance alpha of also mining the next key block, earning (1 - r).
+double inclusion_honest_revenue(double alpha, double r_leader);
+
+/// Monte Carlo of the inclusion attack; converges to
+/// inclusion_attack_revenue. Used by property tests.
+double simulate_inclusion_attack(double alpha, double r_leader, std::uint64_t trials,
+                                 Rng& rng);
+
+/// Censorship resistance (§5.2): expected number of key blocks a user waits
+/// for inclusion when `honest_fraction` of mining power is honest (paper:
+/// 3/4 honest -> 4/3 blocks -> 13.33 minutes at 10-minute intervals).
+double expected_wait_blocks(double honest_fraction);
+double expected_wait_seconds(double honest_fraction, double block_interval_s);
+
+/// Selfish-mining resilience bound shared with Bitcoin (§2, §5.1).
+inline constexpr double kByzantineBound = 0.25;
+
+}  // namespace bng::analysis

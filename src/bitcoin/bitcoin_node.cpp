@@ -1,0 +1,57 @@
+#include "bitcoin/bitcoin_node.hpp"
+
+#include "chain/validation.hpp"
+
+namespace bng::bitcoin {
+
+namespace {
+/// Bytes reserved in a block for the header and coinbase transaction.
+constexpr std::size_t kBlockOverhead = 300;
+}  // namespace
+
+BitcoinNode::BitcoinNode(NodeId id, net::Network& net, chain::BlockPtr genesis,
+                         protocol::NodeConfig cfg, Rng rng,
+                         protocol::IBlockObserver* observer)
+    : BaseNode(id, net, std::move(genesis), std::move(cfg), rng, observer),
+      reward_address_(chain::address_from_tag(0x626974ull << 32 | id)) {}
+
+void BitcoinNode::on_mining_win(double work) {
+  const std::uint32_t tip = tree_.best_tip();
+  chain::BlockPtr block = build_block(tip, work);
+  ++blocks_mined_;
+  if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
+  accept_block(block, id_, work);
+}
+
+chain::BlockPtr BitcoinNode::build_block(std::uint32_t tip, double work) {
+  const auto& tip_entry = tree_.entry(tip);
+  std::vector<chain::TxPtr> txs =
+      assemble_payload(tip, cfg_.params.max_block_size, kBlockOverhead);
+
+  // Coinbase: subsidy + all fees to this miner (paper §3 "Mining").
+  Amount fees = 0;
+  for (const auto& tx : txs) fees += tx->fee;
+  auto coinbase = std::make_shared<chain::Transaction>();
+  coinbase->coinbase_height = tip_entry.pow_height + 1;
+  coinbase->outputs.push_back(
+      chain::TxOutput{cfg_.params.block_subsidy + fees, reward_address_});
+  txs.insert(txs.begin(), std::move(coinbase));
+
+  chain::BlockHeader header;
+  header.type = chain::BlockType::kPow;
+  header.prev = tip_entry.block->id();
+  header.timestamp = now();
+  header.merkle_root = chain::compute_merkle_root(txs);
+  header.nonce = rng_.next();  // regtest mode: difficulty check is skipped
+  return std::make_shared<chain::Block>(std::move(header), std::move(txs), id_, work);
+}
+
+void BitcoinNode::handle_block(const chain::BlockPtr& block, NodeId from) {
+  if (tree_.contains(block->id())) return;
+  if (auto r = chain::check_pow_block(*block); !r.ok) return;  // invalid: drop
+  if (auto r = chain::check_size(*block, cfg_.params); !r.ok) return;
+  if (!ensure_parent(block, from)) return;
+  accept_block(block, from, block->work());
+}
+
+}  // namespace bng::bitcoin

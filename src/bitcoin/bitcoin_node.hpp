@@ -1,0 +1,36 @@
+// The baseline: a stock-Bitcoin miner node (paper §3).
+//
+// Mines on the heaviest chain it knows (random tie-breaking), assembles
+// blocks from its mempool/workload, and gossips blocks over the overlay.
+// Proof-of-work is driven externally by the mining scheduler, mirroring the
+// paper's regtest + in-situ controller setup (§7 "Simulated Mining").
+#pragma once
+
+#include "protocol/base_node.hpp"
+
+namespace bng::bitcoin {
+
+class BitcoinNode : public protocol::BaseNode {
+ public:
+  BitcoinNode(NodeId id, net::Network& net, chain::BlockPtr genesis,
+              protocol::NodeConfig cfg, Rng rng, protocol::IBlockObserver* observer);
+
+  /// The mining scheduler decided this node found the next block.
+  void on_mining_win(double work) override;
+
+  [[nodiscard]] std::uint64_t blocks_mined() const { return blocks_mined_; }
+
+  /// Address collecting this node's rewards.
+  [[nodiscard]] const Hash256& reward_address() const { return reward_address_; }
+
+ protected:
+  void handle_block(const chain::BlockPtr& block, NodeId from) override;
+
+ private:
+  [[nodiscard]] chain::BlockPtr build_block(std::uint32_t tip, double work);
+
+  Hash256 reward_address_;
+  std::uint64_t blocks_mined_ = 0;
+};
+
+}  // namespace bng::bitcoin

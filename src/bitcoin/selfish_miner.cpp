@@ -1,0 +1,112 @@
+#include "bitcoin/selfish_miner.hpp"
+
+#include <algorithm>
+
+namespace bng::bitcoin {
+
+namespace {
+protocol::NodeConfig selfish_config(protocol::NodeConfig cfg) {
+  // The attacker always prefers its own branch on ties: first-seen keeps the
+  // locally-mined (first-inserted) private chain as the mining tip.
+  cfg.params.tie_break = chain::TieBreak::kFirstSeen;
+  return cfg;
+}
+}  // namespace
+
+SelfishMiner::SelfishMiner(NodeId id, net::Network& net, chain::BlockPtr genesis,
+                           protocol::NodeConfig cfg, Rng rng,
+                           protocol::IBlockObserver* observer)
+    : BitcoinNode(id, net, std::move(genesis), selfish_config(std::move(cfg)), rng,
+                  observer) {}
+
+double SelfishMiner::private_work() const { return tree_.best_entry().chain_work; }
+
+bool SelfishMiner::should_relay(std::uint32_t index) const {
+  if (withholding_) return false;  // own block being mined right now
+  const Hash256 id = tree_.entry(index).block->id();
+  if (std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
+      private_blocks_.end())
+    return false;  // withheld
+  return BitcoinNode::should_relay(index);
+}
+
+void SelfishMiner::on_mining_win(double work) {
+  withholding_ = true;
+  BitcoinNode::on_mining_win(work);
+  withholding_ = false;
+  private_blocks_.push_back(tree_.best_entry().block->id());
+
+  // SM1 state 0' -> win: we were racing head-to-head and just mined on our
+  // own branch; publish and take both blocks' rewards.
+  if (racing_ && private_work() > race_work_) {
+    publish_all();
+    racing_ = false;
+  }
+}
+
+void SelfishMiner::after_accept(const chain::BlockPtr& block, std::uint32_t index,
+                                std::uint32_t old_tip) {
+  BitcoinNode::after_accept(block, index, old_tip);
+  if (withholding_) return;  // our own freshly-withheld block
+  const Hash256 id = block->id();
+  if (std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
+      private_blocks_.end())
+    return;
+
+  // A public block arrived (honest, or one we published ourselves).
+  public_best_work_ = std::max(public_best_work_, tree_.entry(index).chain_work);
+  if (racing_ && public_best_work_ > race_work_) racing_ = false;  // race resolved
+  if (private_blocks_.empty()) return;
+
+  const double lead = private_work() - public_best_work_;
+  if (lead < 0) {
+    // The public chain overtook us: our withheld blocks are worthless.
+    abandon_private_chain();
+  } else if (lead == 0) {
+    // They caught up: reveal everything; the network splits (gamma ~ 0.5
+    // under random tie-breaking) and the race is on.
+    race_work_ = private_work();
+    publish_all();
+    racing_ = true;
+  } else if (lead == 1) {
+    // We lead by exactly one after their find: reveal all and win outright.
+    publish_all();
+  } else {
+    // Comfortable lead: reveal just enough to match the public height and
+    // keep the honest network wasting work on a losing branch.
+    publish_until(public_best_work_);
+  }
+}
+
+void SelfishMiner::publish_until(double target_work) {
+  while (!private_blocks_.empty()) {
+    const Hash256 id = private_blocks_.front();
+    auto idx = tree_.find(id);
+    if (!idx) {
+      private_blocks_.pop_front();
+      continue;
+    }
+    if (tree_.entry(*idx).chain_work > target_work) break;
+    private_blocks_.pop_front();
+    ++blocks_published_;
+    announce(id, id_);
+  }
+}
+
+void SelfishMiner::publish_all() {
+  while (!private_blocks_.empty()) {
+    const Hash256 id = private_blocks_.front();
+    private_blocks_.pop_front();
+    if (tree_.find(id)) {
+      ++blocks_published_;
+      announce(id, id_);
+    }
+  }
+}
+
+void SelfishMiner::abandon_private_chain() {
+  branches_abandoned_ += private_blocks_.empty() ? 0 : 1;
+  private_blocks_.clear();
+}
+
+}  // namespace bng::bitcoin

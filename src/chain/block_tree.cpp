@@ -1,0 +1,157 @@
+#include "chain/block_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bng::chain {
+
+BlockTree::BlockTree(BlockPtr genesis, TieBreak tie_break, ForkChoice fork_choice, Rng* rng)
+    : tie_break_(tie_break), fork_choice_(fork_choice), rng_(rng) {
+  if (tie_break_ == TieBreak::kRandom && rng_ == nullptr)
+    throw std::invalid_argument("BlockTree: random tie-break needs an Rng");
+  Entry e;
+  e.block = std::move(genesis);
+  e.parent = -1;
+  e.received = 0;
+  index_.emplace(e.block->id(), 0);
+  entries_.push_back(std::move(e));
+  tip_history_.push_back({0.0, 0});
+}
+
+std::optional<std::uint32_t> BlockTree::find(const Hash256& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t BlockTree::insert(const BlockPtr& block, Seconds received_at, double work) {
+  if (contains(block->id())) throw std::invalid_argument("BlockTree: duplicate block");
+  auto parent_it = index_.find(block->header().prev);
+  if (parent_it == index_.end()) throw std::invalid_argument("BlockTree: unknown parent");
+  const std::uint32_t parent = parent_it->second;
+
+  Entry e;
+  e.block = block;
+  e.parent = static_cast<std::int32_t>(parent);
+  e.height = entries_[parent].height + 1;
+  e.pow_height = entries_[parent].pow_height + (block->is_pow() ? 1 : 0);
+  e.chain_work = entries_[parent].chain_work + work;
+  e.subtree_work = work;
+  e.received = received_at;
+  e.chain_tx_count = entries_[parent].chain_tx_count;
+  e.chain_fee_sum = entries_[parent].chain_fee_sum;
+  for (const auto& tx : block->txs()) {
+    if (tx->is_coinbase() || tx->is_poison()) continue;
+    ++e.chain_tx_count;
+    e.chain_fee_sum += tx->fee;
+  }
+  e.epoch_key_block = block->type() == BlockType::kKey
+                          ? static_cast<std::uint32_t>(entries_.size())
+                          : entries_[parent].epoch_key_block;
+
+  const auto idx = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(std::move(e));
+  entries_[parent].children.push_back(idx);
+  index_.emplace(block->id(), idx);
+
+  // Propagate subtree work up for GHOST.
+  if (work > 0) {
+    for (std::int32_t a = static_cast<std::int32_t>(parent); a != -1;
+         a = entries_[static_cast<std::uint32_t>(a)].parent)
+      entries_[static_cast<std::uint32_t>(a)].subtree_work += work;
+  }
+
+  if (fork_choice_ == ForkChoice::kHeaviestChain) {
+    maybe_switch_tip(idx, received_at);
+  } else {
+    recompute_ghost_tip(received_at);
+  }
+  return idx;
+}
+
+bool BlockTree::tie_break_switch() {
+  if (tie_break_ == TieBreak::kFirstSeen) return false;
+  return rng_->next_below(2) == 1;
+}
+
+void BlockTree::maybe_switch_tip(std::uint32_t candidate, Seconds at) {
+  const Entry& cand = entries_[candidate];
+  const Entry& best = entries_[best_tip_];
+  // A descendant of the current tip always extends it.
+  if (cand.parent >= 0 && static_cast<std::uint32_t>(cand.parent) == best_tip_) {
+    set_tip(candidate, at);
+    return;
+  }
+  if (cand.chain_work > best.chain_work) {
+    set_tip(candidate, at);
+  } else if (cand.chain_work == best.chain_work && !is_ancestor(candidate, best_tip_)) {
+    // Equal-weight fork: paper §3 prescribes random tie-breaking.
+    if (tie_break_switch()) set_tip(candidate, at);
+  }
+}
+
+void BlockTree::recompute_ghost_tip(Seconds at) {
+  // Descend from genesis following the heaviest subtree; then extend through
+  // weightless blocks (microblocks) to the deepest descendant.
+  std::uint32_t cur = kGenesisIndex;
+  for (;;) {
+    const Entry& e = entries_[cur];
+    std::uint32_t best_child = UINT32_MAX;
+    double best_work = -1;
+    for (std::uint32_t c : e.children) {
+      double w = entries_[c].subtree_work;
+      if (w > best_work || (w == best_work && best_child != UINT32_MAX && tie_break_switch())) {
+        best_work = w;
+        best_child = c;
+      }
+    }
+    if (best_child == UINT32_MAX || best_work <= 0) break;
+    cur = best_child;
+  }
+  if (cur != best_tip_) set_tip(cur, at);
+}
+
+void BlockTree::set_tip(std::uint32_t tip, Seconds at) {
+  best_tip_ = tip;
+  tip_history_.push_back({at, tip});
+}
+
+bool BlockTree::is_ancestor(std::uint32_t anc, std::uint32_t desc) const {
+  std::uint32_t cur = desc;
+  const std::uint32_t target_height = entries_[anc].height;
+  while (entries_[cur].height > target_height)
+    cur = static_cast<std::uint32_t>(entries_[cur].parent);
+  return cur == anc;
+}
+
+std::vector<std::uint32_t> BlockTree::path_from_genesis(std::uint32_t tip) const {
+  std::vector<std::uint32_t> path;
+  path.reserve(entries_[tip].height + 1);
+  for (std::int32_t cur = static_cast<std::int32_t>(tip); cur != -1;
+       cur = entries_[static_cast<std::uint32_t>(cur)].parent)
+    path.push_back(static_cast<std::uint32_t>(cur));
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::uint32_t BlockTree::common_ancestor(std::uint32_t a, std::uint32_t b) const {
+  while (entries_[a].height > entries_[b].height)
+    a = static_cast<std::uint32_t>(entries_[a].parent);
+  while (entries_[b].height > entries_[a].height)
+    b = static_cast<std::uint32_t>(entries_[b].parent);
+  while (a != b) {
+    a = static_cast<std::uint32_t>(entries_[a].parent);
+    b = static_cast<std::uint32_t>(entries_[b].parent);
+  }
+  return a;
+}
+
+std::uint32_t BlockTree::ancestor_at_or_before(std::uint32_t tip, Seconds time) const {
+  std::uint32_t cur = tip;
+  while (entries_[cur].parent != -1 && entries_[cur].block->header().timestamp > time)
+    cur = static_cast<std::uint32_t>(entries_[cur].parent);
+  return cur;
+}
+
+}  // namespace bng::chain

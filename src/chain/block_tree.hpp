@@ -1,0 +1,98 @@
+// Block tree and fork choice.
+//
+// Every node maintains its own view of the block tree. Fork choice follows
+// the paper: "the winning chain is the heaviest one ... with random
+// tie-breaking" (§3), where in Bitcoin-NG "microblocks do not affect the
+// weight of the chain" (§4.2). A heaviest-subtree (GHOST) mode supports the
+// §9 comparison.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bng::chain {
+
+class BlockTree {
+ public:
+  enum class ForkChoice {
+    kHeaviestChain,    ///< Bitcoin / Bitcoin-NG rule.
+    kHeaviestSubtree,  ///< GHOST rule.
+  };
+
+  struct Entry {
+    BlockPtr block;
+    std::int32_t parent = -1;       ///< index of parent; -1 for genesis
+    std::uint32_t height = 0;       ///< distance from genesis (all blocks)
+    std::uint32_t pow_height = 0;   ///< number of PoW blocks up to here
+    double chain_work = 0;          ///< accumulated PoW work along the chain
+    double subtree_work = 0;        ///< own + descendants' work (GHOST)
+    Seconds received = 0;           ///< local arrival/creation time
+    std::vector<std::uint32_t> children;
+    // Cumulative chain statistics (genesis excluded):
+    std::uint64_t chain_tx_count = 0;  ///< payload txs (excl. coinbase/poison)
+    Amount chain_fee_sum = 0;          ///< payload tx fees along the chain
+    /// Index of the nearest key-block ancestor (or self); genesis index when
+    /// no key block exists yet. Defines the current NG epoch.
+    std::uint32_t epoch_key_block = 0;
+  };
+
+  /// A record of every best-tip change, consumed by the metrics suite.
+  struct TipChange {
+    Seconds at;
+    std::uint32_t tip;
+  };
+
+  BlockTree(BlockPtr genesis, TieBreak tie_break, ForkChoice fork_choice, Rng* rng);
+
+  /// Insert a block whose parent is already in the tree. `work` is the PoW
+  /// weight contributed (0 for microblocks). Returns the new entry's index.
+  /// Throws if the parent is unknown or the block is a duplicate.
+  std::uint32_t insert(const BlockPtr& block, Seconds received_at, double work);
+
+  [[nodiscard]] bool contains(const Hash256& id) const { return index_.count(id) > 0; }
+  [[nodiscard]] std::optional<std::uint32_t> find(const Hash256& id) const;
+  [[nodiscard]] const Entry& entry(std::uint32_t idx) const { return entries_[idx]; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::uint32_t best_tip() const { return best_tip_; }
+  [[nodiscard]] const Entry& best_entry() const { return entries_[best_tip_]; }
+  static constexpr std::uint32_t kGenesisIndex = 0;
+
+  /// Is `anc` an ancestor of (or equal to) `desc`?
+  [[nodiscard]] bool is_ancestor(std::uint32_t anc, std::uint32_t desc) const;
+
+  /// Indices from genesis to `tip`, inclusive.
+  [[nodiscard]] std::vector<std::uint32_t> path_from_genesis(std::uint32_t tip) const;
+
+  [[nodiscard]] std::uint32_t common_ancestor(std::uint32_t a, std::uint32_t b) const;
+
+  /// Last block on the path to `tip` whose block timestamp is <= `time`
+  /// (used by the consensus-delay metric).
+  [[nodiscard]] std::uint32_t ancestor_at_or_before(std::uint32_t tip, Seconds time) const;
+
+  /// History of best-tip switches, in order (first entry is genesis at 0).
+  [[nodiscard]] const std::vector<TipChange>& tip_history() const { return tip_history_; }
+
+ private:
+  void maybe_switch_tip(std::uint32_t candidate, Seconds at);
+  void recompute_ghost_tip(Seconds at);
+  void set_tip(std::uint32_t tip, Seconds at);
+  [[nodiscard]] bool tie_break_switch();
+
+  TieBreak tie_break_;
+  ForkChoice fork_choice_;
+  Rng* rng_;  ///< used for random tie-breaking only; may be null for kFirstSeen
+  std::vector<Entry> entries_;
+  std::unordered_map<Hash256, std::uint32_t, Hash256Hasher> index_;
+  std::uint32_t best_tip_ = 0;
+  std::vector<TipChange> tip_history_;
+};
+
+}  // namespace bng::chain

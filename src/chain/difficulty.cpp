@@ -1,0 +1,30 @@
+#include "chain/difficulty.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bng::chain {
+
+double retarget(double difficulty, Seconds actual_timespan, const RetargetRule& rule) {
+  if (difficulty <= 0) throw std::invalid_argument("retarget: non-positive difficulty");
+  const Seconds expected = rule.target_spacing * rule.interval_blocks;
+  Seconds actual = std::clamp(actual_timespan, expected / rule.clamp, expected * rule.clamp);
+  // Faster than expected -> difficulty rises proportionally (Bitcoin rule).
+  return difficulty * expected / actual;
+}
+
+DifficultyTracker::DifficultyTracker(double initial_difficulty, RetargetRule rule)
+    : difficulty_(initial_difficulty), rule_(rule) {
+  if (initial_difficulty <= 0)
+    throw std::invalid_argument("DifficultyTracker: non-positive difficulty");
+}
+
+void DifficultyTracker::on_block(Seconds timestamp) {
+  ++height_;
+  if (height_ % rule_.interval_blocks == 0) {
+    difficulty_ = retarget(difficulty_, timestamp - window_start_, rule_);
+    window_start_ = timestamp;
+  }
+}
+
+}  // namespace bng::chain

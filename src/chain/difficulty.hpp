@@ -1,0 +1,45 @@
+// Difficulty adjustment.
+//
+// Paper §5.2 ("Resilience to Mining Power Variation"): chains retune their
+// proof-of-work difficulty on a schedule (Bitcoin: every 2016 blocks); a
+// sudden power drop leaves block production slow until the next retarget.
+// The simulator expresses difficulty as "expected hash-work per block" in
+// arbitrary units; the mining scheduler produces blocks at rate
+// total_power / difficulty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bng::chain {
+
+struct RetargetRule {
+  std::uint32_t interval_blocks = 2016;  ///< blocks between retargets
+  Seconds target_spacing = 600;          ///< desired seconds per block
+  double clamp = 4.0;                    ///< max single-step factor
+};
+
+/// One retarget step: scale difficulty by expected/actual timespan, clamped.
+double retarget(double difficulty, Seconds actual_timespan, const RetargetRule& rule);
+
+/// Tracks difficulty across a sequence of block timestamps.
+class DifficultyTracker {
+ public:
+  DifficultyTracker(double initial_difficulty, RetargetRule rule);
+
+  /// Record a block generated at `timestamp`; may trigger a retarget.
+  void on_block(Seconds timestamp);
+
+  [[nodiscard]] double difficulty() const { return difficulty_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+ private:
+  double difficulty_;
+  RetargetRule rule_;
+  std::uint32_t height_ = 0;
+  Seconds window_start_ = 0;
+};
+
+}  // namespace bng::chain

@@ -1,0 +1,34 @@
+#include "chain/mempool.hpp"
+
+namespace bng::chain {
+
+bool Mempool::submit(const TxPtr& tx) {
+  Hash256 txid = tx->id();
+  if (by_id_.count(txid) > 0) return false;
+  by_id_.emplace(txid, order_.size());
+  order_.push_back(tx);
+  return true;
+}
+
+void Mempool::mark_included(const Hash256& txid) { included_.insert(txid); }
+
+void Mempool::mark_excluded(const Hash256& txid) { included_.erase(txid); }
+
+std::vector<TxPtr> Mempool::assemble(std::size_t max_bytes, std::size_t reserve_bytes) const {
+  std::vector<TxPtr> out;
+  if (reserve_bytes >= max_bytes) return out;
+  std::size_t budget = max_bytes - reserve_bytes;
+  std::size_t min_size = SIZE_MAX;
+  for (const auto& tx : order_) {
+    const std::size_t sz = tx->wire_size();
+    min_size = std::min(min_size, sz);
+    if (budget < min_size) break;  // nothing seen so far can fit any more
+    if (sz > budget) continue;
+    if (included_.count(tx->id()) > 0) continue;
+    out.push_back(tx);
+    budget -= sz;
+  }
+  return out;
+}
+
+}  // namespace bng::chain

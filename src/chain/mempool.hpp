@@ -1,0 +1,49 @@
+// Mempool: transactions awaiting serialization.
+//
+// Paper §7 ("No Transaction Propagation"): experiments pre-fill every node's
+// mempool with the same set of independent, identically sized transactions
+// that can be serialized in arbitrary order. This mempool supports both that
+// mode and normal submit/remove flow with reorg handling.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "common/types.hpp"
+
+namespace bng::chain {
+
+class Mempool {
+ public:
+  /// Add a transaction; returns false if already present (by id).
+  bool submit(const TxPtr& tx);
+
+  /// Mark a transaction as included in the node's main chain.
+  void mark_included(const Hash256& txid);
+
+  /// Undo inclusion (chain reorganization returned the tx to the pool).
+  void mark_excluded(const Hash256& txid);
+
+  /// Greedily assemble up to `max_bytes` of not-yet-included transactions,
+  /// in submission order. `reserve_bytes` is subtracted first (header and
+  /// coinbase overhead).
+  [[nodiscard]] std::vector<TxPtr> assemble(std::size_t max_bytes,
+                                            std::size_t reserve_bytes = 0) const;
+
+  [[nodiscard]] bool contains(const Hash256& txid) const { return by_id_.count(txid) > 0; }
+  [[nodiscard]] bool is_included(const Hash256& txid) const {
+    return included_.count(txid) > 0;
+  }
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t available() const { return order_.size() - included_.size(); }
+
+ private:
+  std::vector<TxPtr> order_;  // submission order
+  std::unordered_map<Hash256, std::size_t, Hash256Hasher> by_id_;
+  std::unordered_set<Hash256, Hash256Hasher> included_;
+};
+
+}  // namespace bng::chain

@@ -1,0 +1,80 @@
+// Consensus parameters for Bitcoin and Bitcoin-NG chains.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bng::chain {
+
+enum class Protocol {
+  kBitcoin,   ///< Stock Nakamoto consensus (paper §3)
+  kBitcoinNG, ///< Key blocks + microblocks (paper §4)
+  kGhost,     ///< Heaviest-subtree fork choice (paper §9, extension)
+};
+
+enum class TieBreak {
+  kRandom,     ///< Paper's prescription (§3 fn. 2): pick uniformly at random.
+  kFirstSeen,  ///< Operational bitcoind behaviour.
+};
+
+struct Params {
+  Protocol protocol = Protocol::kBitcoinNG;
+
+  // --- Proof-of-work plane -------------------------------------------------
+  /// Target mean interval between PoW blocks (Bitcoin blocks / NG key blocks).
+  Seconds block_interval = 100.0;
+  /// Retarget period in blocks (Bitcoin mainnet: 2016).
+  std::uint32_t retarget_interval = 2016;
+  /// Clamp factor for a single retarget step (Bitcoin mainnet: 4).
+  double retarget_clamp = 4.0;
+
+  // --- Transaction serialization plane (NG only) --------------------------
+  /// Leader's target interval between microblocks.
+  Seconds microblock_interval = 10.0;
+  /// Validity rule (§4.2): a microblock whose timestamp is less than this far
+  /// after its predecessor's is invalid (rate-limits a swamping leader).
+  Seconds min_microblock_interval = 0.0;
+  /// Maximum microblock payload in bytes (§4.2).
+  std::size_t max_microblock_size = 1'000'000;
+
+  // --- Sizes ---------------------------------------------------------------
+  /// Maximum Bitcoin block payload in bytes.
+  std::size_t max_block_size = 1'000'000;
+
+  // --- Remuneration (§4.4, §4.5) -------------------------------------------
+  /// New coins minted per key block / Bitcoin block.
+  Amount block_subsidy = 25 * kCoin;
+  /// Fraction of a transaction fee earned by the leader that includes it;
+  /// the rest goes to the next key-block miner. Paper: 40% (valid window at
+  /// alpha = 1/4 is 37%..43%, see analysis/incentives).
+  double leader_fee_fraction = 0.40;
+  /// Fraction of revoked revenue granted to the placer of a poison
+  /// transaction. Paper: "e.g., 5%".
+  double poison_reward_fraction = 0.05;
+  /// Coinbase maturity in blocks (§4.4): 100, as in Bitcoin.
+  std::uint32_t coinbase_maturity = 100;
+
+  // --- Fork choice ---------------------------------------------------------
+  TieBreak tie_break = TieBreak::kRandom;
+
+  /// Bitcoin-mainnet-flavoured defaults.
+  static Params bitcoin() {
+    Params p;
+    p.protocol = Protocol::kBitcoin;
+    p.block_interval = 600.0;
+    p.max_block_size = 1'000'000;
+    return p;
+  }
+
+  /// Paper's NG experiment defaults (§8.1): key blocks every 100 s.
+  static Params bitcoin_ng() {
+    Params p;
+    p.protocol = Protocol::kBitcoinNG;
+    p.block_interval = 100.0;
+    p.microblock_interval = 10.0;
+    return p;
+  }
+};
+
+}  // namespace bng::chain

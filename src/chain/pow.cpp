@@ -1,0 +1,80 @@
+#include "chain/pow.hpp"
+
+#include <cmath>
+
+#include "chain/validation.hpp"
+
+namespace bng::chain {
+
+std::uint32_t target_to_compact(const crypto::U256& target) {
+  int bits = target.bit_length();
+  int size = (bits + 7) / 8;
+  std::uint32_t mantissa;
+  if (size <= 3) {
+    mantissa = static_cast<std::uint32_t>(target.limb[0] << (8 * (3 - size)));
+  } else {
+    mantissa = static_cast<std::uint32_t>(target.shr(8 * (size - 3)).limb[0]);
+  }
+  // Avoid the sign bit (Bitcoin convention): shift mantissa down if needed.
+  if (mantissa & 0x00800000) {
+    mantissa >>= 8;
+    ++size;
+  }
+  return (static_cast<std::uint32_t>(size) << 24) | (mantissa & 0x007fffff);
+}
+
+crypto::U256 compact_to_target(std::uint32_t compact) {
+  const std::uint32_t size = compact >> 24;
+  const std::uint32_t mantissa = compact & 0x007fffff;
+  crypto::U256 target(mantissa);
+  if (size <= 3) return target.shr(8 * (3 - size));
+  return target.shl(8 * (size - 3));
+}
+
+const crypto::U256& max_target() {
+  // Regtest-style: almost no work required at difficulty 1.
+  static const crypto::U256 kMax = crypto::U256::from_hex(
+      "7fffff0000000000000000000000000000000000000000000000000000000000");
+  return kMax;
+}
+
+double target_to_difficulty(const crypto::U256& target) {
+  // Ratio via doubles: adequate for difficulty bookkeeping (not consensus).
+  auto to_double = [](const crypto::U256& v) {
+    double acc = 0;
+    for (int i = 3; i >= 0; --i) acc = acc * 0x1.0p64 + static_cast<double>(v.limb[i]);
+    return acc;
+  };
+  return to_double(max_target()) / to_double(target);
+}
+
+crypto::U256 difficulty_to_target(double difficulty) {
+  if (difficulty <= 1.0) return max_target();
+  // target = max_target / difficulty, computed via shifting binary search.
+  // Convert difficulty to a (mantissa, exponent) halving of the target.
+  crypto::U256 target = max_target();
+  double remaining = difficulty;
+  while (remaining >= 2.0) {
+    target = target.shr(1);
+    remaining /= 2.0;
+  }
+  // Final fractional adjustment via 32-bit scaling: target *= 1/remaining.
+  const auto scale = static_cast<std::uint64_t>(static_cast<double>(1ull << 32) / remaining);
+  crypto::U512 wide = crypto::U256::mul_wide(target, crypto::U256(scale));
+  // Divide by 2^32: shift limbs right by half a limb.
+  crypto::U256 result;
+  for (int i = 0; i < 4; ++i)
+    result.limb[i] = (wide.limb[i] >> 32) | (wide.limb[i + 1] << 32);
+  return result.is_zero() ? crypto::U256(1) : result;
+}
+
+std::optional<std::uint64_t> mine_header(BlockHeader& header, std::uint64_t start_nonce,
+                                         std::uint64_t max_tries) {
+  for (std::uint64_t i = 0; i < max_tries; ++i) {
+    header.nonce = start_nonce + i;
+    if (check_pow(header).ok) return header.nonce;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bng::chain

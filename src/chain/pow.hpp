@@ -1,0 +1,33 @@
+// Real proof-of-work support: compact target encoding and nonce grinding.
+//
+// The large-scale experiments replace mining with the scheduler (§7), but
+// the library also supports genuine PoW for small deployments and tests:
+// Bitcoin's compact "nBits" target encoding, difficulty <-> target
+// conversion, and a grinding miner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "chain/block.hpp"
+#include "crypto/u256.hpp"
+
+namespace bng::chain {
+
+/// Bitcoin compact target ("nBits"): 1-byte exponent, 3-byte mantissa.
+/// Encodes target = mantissa * 256^(exponent-3).
+std::uint32_t target_to_compact(const crypto::U256& target);
+crypto::U256 compact_to_target(std::uint32_t compact);
+
+/// Difficulty relative to a maximum target: difficulty = max_target/target.
+/// Uses the regtest-style maximum (2^255-ish) so difficulty 1 is trivial.
+const crypto::U256& max_target();
+double target_to_difficulty(const crypto::U256& target);
+crypto::U256 difficulty_to_target(double difficulty);
+
+/// Grind nonces until header.id() < header.target, starting from
+/// `start_nonce`. Returns the winning nonce, or nullopt after `max_tries`.
+std::optional<std::uint64_t> mine_header(BlockHeader& header, std::uint64_t start_nonce,
+                                         std::uint64_t max_tries);
+
+}  // namespace bng::chain

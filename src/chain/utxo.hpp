@@ -1,0 +1,99 @@
+// UTXO set and ledger replay.
+//
+// The replicated state machine of the paper (§2-3): balances move between
+// addresses via transactions spending unspent outputs. The Ledger replays a
+// chain path, enforcing value conservation, coinbase maturity (§4.4), the
+// NG fee split (§4.4) and poison-transaction revocation (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+#include "chain/transaction.hpp"
+
+namespace bng::chain {
+
+struct UtxoEntry {
+  TxOutput out;
+  /// PoW height of the containing block if the output is from a coinbase
+  /// (maturity applies); nullopt otherwise.
+  std::optional<std::uint32_t> coinbase_pow_height;
+};
+
+class UtxoSet {
+ public:
+  void add(const Outpoint& op, UtxoEntry entry);
+  /// Remove and return; nullopt if absent.
+  std::optional<UtxoEntry> spend(const Outpoint& op);
+  [[nodiscard]] const UtxoEntry* find(const Outpoint& op) const;
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Sum of values owned by `addr`; if `min_matured_height` is given, only
+  /// counts coinbase outputs matured at that PoW height.
+  [[nodiscard]] Amount balance(const Hash256& addr,
+                               std::optional<std::uint32_t> matured_at = std::nullopt,
+                               std::uint32_t maturity = 0) const;
+
+ private:
+  std::unordered_map<Outpoint, UtxoEntry, OutpointHasher> map_;
+};
+
+/// Replays a chain, block by block, maintaining the UTXO state machine.
+class Ledger {
+ public:
+  explicit Ledger(Params params);
+
+  struct Result {
+    bool ok = true;
+    std::string error;
+    static Result fail(std::string msg) { return {false, std::move(msg)}; }
+  };
+
+  /// Apply the next block in the chain. Blocks must be fed in chain order,
+  /// starting with genesis. Performs full validation of ledger rules.
+  Result apply_block(const Block& block);
+
+  [[nodiscard]] const UtxoSet& utxo() const { return utxo_; }
+  /// Spendable (matured) balance at the current height.
+  [[nodiscard]] Amount spendable_balance(const Hash256& addr) const;
+  /// Balance including immature coinbase outputs.
+  [[nodiscard]] Amount total_balance(const Hash256& addr) const;
+
+  [[nodiscard]] std::uint32_t pow_height() const { return pow_height_; }
+  [[nodiscard]] std::uint64_t transactions_applied() const { return txs_applied_; }
+
+  /// Leaders already hit by a poison transaction ("Only one poison
+  /// transaction can be placed per cheater", §4.5).
+  [[nodiscard]] bool is_poisoned(const Hash256& accused_key_block) const {
+    return poisoned_.count(accused_key_block) > 0;
+  }
+
+ private:
+  Result apply_coinbase(const Block& block, const Transaction& tx);
+  Result apply_transfer(const Transaction& tx);
+  Result apply_poison(const Block& block, const Transaction& tx);
+
+  Params params_;
+  UtxoSet utxo_;
+  std::uint32_t pow_height_ = 0;  // PoW blocks applied so far (genesis = 0)
+  std::uint64_t txs_applied_ = 0;
+  /// Key-block id -> (coinbase txid, leader address) for poison lookups.
+  struct KeyBlockInfo {
+    Hash256 coinbase_txid;
+    Hash256 leader_address;
+    std::uint32_t n_outputs = 0;
+  };
+  std::unordered_map<Hash256, KeyBlockInfo, Hash256Hasher> key_blocks_;
+  /// Most recent key block id (the accused's successor pays its fee share).
+  Hash256 last_key_block_;
+  Hash256 prev_key_block_;
+  std::unordered_set<Hash256, Hash256Hasher> poisoned_;
+};
+
+}  // namespace bng::chain

@@ -1,0 +1,43 @@
+// Stateless and semi-contextual block validation rules.
+#pragma once
+
+#include <string>
+
+#include "chain/block.hpp"
+#include "chain/params.hpp"
+
+namespace bng::chain {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;
+
+  static ValidationResult fail(std::string msg) { return {false, std::move(msg)}; }
+  explicit operator bool() const { return ok; }
+};
+
+/// Does the header hash meet its own declared target? (Real-PoW mode; the
+/// large-scale simulation skips this exactly like bitcoind's regtest mode,
+/// paper §7 "Simulated Mining".)
+ValidationResult check_pow(const BlockHeader& header);
+
+/// Merkle commitment over the block's transactions.
+ValidationResult check_merkle(const Block& block);
+
+/// Size limit for the given type.
+ValidationResult check_size(const Block& block, const Params& params);
+
+/// Microblock rules (§4.2): signed by the epoch key; timestamp not in the
+/// future (vs `now`) and at least `min_microblock_interval` after the
+/// predecessor's timestamp.
+ValidationResult check_microblock(const Block& block, const crypto::PublicKey& epoch_key,
+                                  Seconds prev_timestamp, Seconds now, const Params& params,
+                                  bool verify_signature);
+
+/// Key-block structural rules (§4.1): must carry a leader key and a coinbase.
+ValidationResult check_key_block(const Block& block);
+
+/// Bitcoin block structural rules.
+ValidationResult check_pow_block(const Block& block);
+
+}  // namespace bng::chain

@@ -1,0 +1,48 @@
+#include "common/hex.hpp"
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace bng {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument("invalid hex character");
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (auto b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("odd hex length");
+  std::vector<std::uint8_t> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(nibble(hex[2 * i]) << 4 | nibble(hex[2 * i + 1]));
+  return out;
+}
+
+std::string Hash256::to_hex() const { return bng::to_hex(bytes); }
+
+Hash256 Hash256::from_hex(const std::string& hex) {
+  auto raw = bng::from_hex(hex);
+  if (raw.size() != 32) throw std::invalid_argument("Hash256 needs 32 bytes");
+  Hash256 h;
+  std::copy(raw.begin(), raw.end(), h.bytes.begin());
+  return h;
+}
+
+}  // namespace bng

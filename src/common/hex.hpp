@@ -1,0 +1,16 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bng {
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Throws std::invalid_argument on odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace bng

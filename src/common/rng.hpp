@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// All randomness in the library flows through Rng so that an experiment seed
+// fully determines the run (topology, latencies, mining schedule, tie-breaks).
+// The generator is xoshiro256**, seeded via splitmix64, which is both fast
+// and of far higher quality than std::minstd / std::rand.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bng {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed with the given mean (= 1/rate). mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no state caching; fine for our volumes).
+  double normal(double mu, double sigma);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (stable: depends only on this
+  /// generator's seed path and `stream`).
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;  // kept for fork()
+};
+
+}  // namespace bng

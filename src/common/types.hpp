@@ -1,0 +1,55 @@
+// Fundamental value types shared by every subsystem.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bng {
+
+/// 256-bit hash value (e.g. double-SHA-256 block ids). Stored big-endian,
+/// i.e. bytes[0] is the most significant byte, matching usual hex display.
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  auto operator<=>(const Hash256&) const = default;
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Lowercase hex, 64 chars.
+  [[nodiscard]] std::string to_hex() const;
+  static Hash256 from_hex(const std::string& hex);
+};
+
+/// FNV-1a over the raw bytes; hash values are already uniform so any mix is fine.
+struct Hash256Hasher {
+  std::size_t operator()(const Hash256& h) const noexcept {
+    std::size_t x = 1469598103934665603ull;
+    for (auto b : h.bytes) {
+      x ^= b;
+      x *= 1099511628211ull;
+    }
+    return x;
+  }
+};
+
+/// Index of a node in the simulated network.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+/// Simulation time in seconds. Double precision gives sub-microsecond
+/// resolution over multi-day simulated horizons, which is ample.
+using Seconds = double;
+
+/// Monetary amount in base units ("satoshi"). 1 coin = 100'000'000 units.
+using Amount = std::int64_t;
+inline constexpr Amount kCoin = 100'000'000;
+
+}  // namespace bng

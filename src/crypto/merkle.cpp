@@ -1,0 +1,67 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace bng::crypto {
+
+namespace {
+Hash256 hash_pair(const Hash256& a, const Hash256& b) {
+  std::uint8_t buf[64];
+  std::copy(a.bytes.begin(), a.bytes.end(), buf);
+  std::copy(b.bytes.begin(), b.bytes.end(), buf + 32);
+  return sha256d(std::span<const std::uint8_t>(buf, 64));
+}
+}  // namespace
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_proof(const std::vector<Hash256>& leaves, std::size_t index) {
+  assert(index < leaves.size());
+  MerkleProof proof;
+  proof.index = index;
+  std::vector<Hash256> level = leaves;
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    std::size_t sibling = pos ^ 1;
+    if (sibling >= level.size()) sibling = pos;  // odd level: paired with itself
+    proof.siblings.push_back(level[sibling]);
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(hash_pair(left, right));
+    }
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+Hash256 merkle_proof_root(const Hash256& leaf, const MerkleProof& proof) {
+  Hash256 node = leaf;
+  std::size_t pos = proof.index;
+  for (const Hash256& sibling : proof.siblings) {
+    node = (pos & 1) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+    pos /= 2;
+  }
+  return node;
+}
+
+}  // namespace bng::crypto

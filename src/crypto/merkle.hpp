@@ -1,0 +1,31 @@
+// Bitcoin-style Merkle trees over transaction ids.
+//
+// Block headers commit to their transaction list through the Merkle root
+// (paper §3: "the hash (specifically, the Merkle root) of the transactions").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bng::crypto {
+
+/// Merkle root of a list of txids, Bitcoin convention:
+///  - empty list -> zero hash
+///  - single txid -> the txid itself
+///  - odd level size -> last element paired with itself
+/// Inner nodes are sha256d(left || right).
+[[nodiscard]] Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+/// Merkle inclusion proof: sibling hashes from leaf to root.
+struct MerkleProof {
+  std::size_t index = 0;           ///< leaf position
+  std::vector<Hash256> siblings;   ///< bottom-up
+};
+
+[[nodiscard]] MerkleProof merkle_proof(const std::vector<Hash256>& leaves, std::size_t index);
+
+/// Recompute the root from a leaf + proof; compare against a trusted root.
+[[nodiscard]] Hash256 merkle_proof_root(const Hash256& leaf, const MerkleProof& proof);
+
+}  // namespace bng::crypto

@@ -1,0 +1,294 @@
+#include "crypto/secp256k1.hpp"
+
+#include <cassert>
+
+namespace bng::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+// n = group order
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+// 2^256 mod p = 2^32 + 977
+constexpr std::uint64_t kC = 0x1000003d1ull;
+
+const U256 kGx = U256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy = U256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// Reduce a 512-bit product modulo p using p's special form:
+/// hi*2^256 + lo == hi*(2^32+977) + lo (mod p).
+U256 reduce512(const U512& t) {
+  // First fold: acc (5 limbs) = lo + hi * kC.
+  std::uint64_t acc[5] = {};
+  {
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(t.limb[4 + i]) * kC +
+                              t.limb[i] + carry;
+      acc[i] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    acc[4] = static_cast<std::uint64_t>(carry);
+  }
+  // Second fold: r = acc[0..3] + acc[4] * kC.
+  U256 r;
+  {
+    unsigned __int128 cur = static_cast<unsigned __int128>(acc[4]) * kC + acc[0];
+    r.limb[0] = static_cast<std::uint64_t>(cur);
+    unsigned __int128 carry = cur >> 64;
+    for (int i = 1; i < 4; ++i) {
+      cur = static_cast<unsigned __int128>(acc[i]) + carry;
+      r.limb[i] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    // Final possible carry of 1: fold once more (adds kC).
+    if (carry) {
+      bool c2;
+      r = U256::add(r, U256(kC), c2);
+      // c2 cannot propagate again: r was < 2^64 in the low limbs after carry.
+      assert(!c2);
+    }
+  }
+  while (r >= kP) {
+    bool borrow;
+    r = U256::sub(r, kP, borrow);
+  }
+  return r;
+}
+
+}  // namespace
+
+const U256& field_p() { return kP; }
+const U256& order_n() { return kN; }
+
+U256 fe_add(const U256& a, const U256& b) {
+  bool carry;
+  U256 r = U256::add(a, b, carry);
+  if (carry || r >= kP) {
+    bool borrow;
+    r = U256::sub(r, kP, borrow);
+  }
+  return r;
+}
+
+U256 fe_sub(const U256& a, const U256& b) {
+  bool borrow;
+  U256 r = U256::sub(a, b, borrow);
+  if (borrow) {
+    bool carry;
+    r = U256::add(r, kP, carry);
+  }
+  return r;
+}
+
+U256 fe_mul(const U256& a, const U256& b) { return reduce512(U256::mul_wide(a, b)); }
+
+U256 fe_sqr(const U256& a) { return fe_mul(a, a); }
+
+U256 fe_neg(const U256& a) {
+  if (a.is_zero()) return a;
+  bool borrow;
+  return U256::sub(kP, a, borrow);
+}
+
+U256 fe_pow(const U256& a, const U256& e) {
+  U256 result(1);
+  U256 base = a;
+  for (int i = 0; i < 256; ++i) {
+    if (e.bit(i)) result = fe_mul(result, base);
+    base = fe_sqr(base);
+  }
+  return result;
+}
+
+U256 fe_inv(const U256& a) {
+  assert(!a.is_zero());
+  bool borrow;
+  U256 pm2 = U256::sub(kP, U256(2), borrow);
+  return fe_pow(a, pm2);
+}
+
+std::optional<U256> fe_sqrt(const U256& a) {
+  if (a.is_zero()) return U256(0);
+  // p ≡ 3 (mod 4): the candidate root is a^((p+1)/4). p+1 fits in 256 bits.
+  bool carry;
+  const U256 exp = U256::add(kP, U256(1), carry).shr(2);
+  assert(!carry);
+  U256 root = fe_pow(a, exp);
+  if (fe_sqr(root) != a) return std::nullopt;
+  return root;
+}
+
+std::optional<AffinePoint> lift_x(const U256& x, bool odd_y) {
+  if (!(x < kP)) return std::nullopt;
+  U256 rhs = fe_add(fe_mul(fe_sqr(x), x), U256(7));
+  auto y = fe_sqrt(rhs);
+  if (!y) return std::nullopt;
+  AffinePoint p;
+  p.infinity = false;
+  p.x = x;
+  p.y = (y->is_odd() == odd_y) ? *y : fe_neg(*y);
+  return p;
+}
+
+U256 sc_reduce(const U256& a) { return U512::from_u256(a).mod(kN); }
+
+U256 sc_add(const U256& a, const U256& b) {
+  bool carry;
+  U256 r = U256::add(a, b, carry);
+  if (carry) {
+    // r + 2^256 mod n: since n > 2^255, subtracting n once from (r + 2^256)
+    // may still exceed n; fall back to wide reduction.
+    U512 wide = U512::from_u256(r);
+    wide.limb[4] = 1;
+    return wide.mod(kN);
+  }
+  if (r >= kN) {
+    bool borrow;
+    r = U256::sub(r, kN, borrow);
+  }
+  return r;
+}
+
+U256 sc_mul(const U256& a, const U256& b) { return U256::mul_wide(a, b).mod(kN); }
+
+U256 sc_neg(const U256& a) {
+  if (a.is_zero()) return a;
+  bool borrow;
+  return U256::sub(kN, sc_reduce(a), borrow);
+}
+
+U256 sc_inv(const U256& a) {
+  assert(!sc_reduce(a).is_zero());
+  bool borrow;
+  U256 nm2 = U256::sub(kN, U256(2), borrow);
+  // Square-and-multiply mod n.
+  U256 result(1);
+  U256 base = sc_reduce(a);
+  for (int i = 0; i < 256; ++i) {
+    if (nm2.bit(i)) result = sc_mul(result, base);
+    base = sc_mul(base, base);
+  }
+  return result;
+}
+
+bool AffinePoint::valid() const {
+  if (infinity) return true;
+  if (x >= kP || y >= kP) return false;
+  U256 lhs = fe_sqr(y);
+  U256 rhs = fe_add(fe_mul(fe_sqr(x), x), U256(7));
+  return lhs == rhs;
+}
+
+JacobianPoint JacobianPoint::infinity() { return {U256(1), U256(1), U256(0)}; }
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return infinity();
+  return {p.x, p.y, U256(1)};
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (is_infinity()) return {};
+  U256 zinv = fe_inv(Z);
+  U256 zinv2 = fe_sqr(zinv);
+  AffinePoint p;
+  p.infinity = false;
+  p.x = fe_mul(X, zinv2);
+  p.y = fe_mul(Y, fe_mul(zinv2, zinv));
+  return p;
+}
+
+const AffinePoint& generator() {
+  static const AffinePoint g{kGx, kGy, false};
+  return g;
+}
+
+JacobianPoint point_double(const JacobianPoint& p) {
+  if (p.is_infinity() || p.Y.is_zero()) return JacobianPoint::infinity();
+  // dbl-2009-l formulas for a = 0.
+  U256 A = fe_sqr(p.X);
+  U256 B = fe_sqr(p.Y);
+  U256 C = fe_sqr(B);
+  U256 t = fe_sub(fe_sqr(fe_add(p.X, B)), fe_add(A, C));
+  U256 D = fe_add(t, t);
+  U256 E = fe_add(fe_add(A, A), A);
+  U256 F = fe_sqr(E);
+  JacobianPoint r;
+  r.X = fe_sub(F, fe_add(D, D));
+  U256 C8 = fe_add(C, C);
+  C8 = fe_add(C8, C8);
+  C8 = fe_add(C8, C8);
+  r.Y = fe_sub(fe_mul(E, fe_sub(D, r.X)), C8);
+  U256 YZ = fe_mul(p.Y, p.Z);
+  r.Z = fe_add(YZ, YZ);
+  return r;
+}
+
+JacobianPoint point_add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.is_infinity()) return q;
+  if (q.is_infinity()) return p;
+  U256 Z1Z1 = fe_sqr(p.Z);
+  U256 Z2Z2 = fe_sqr(q.Z);
+  U256 U1 = fe_mul(p.X, Z2Z2);
+  U256 U2 = fe_mul(q.X, Z1Z1);
+  U256 S1 = fe_mul(p.Y, fe_mul(Z2Z2, q.Z));
+  U256 S2 = fe_mul(q.Y, fe_mul(Z1Z1, p.Z));
+  if (U1 == U2) {
+    if (S1 == S2) return point_double(p);
+    return JacobianPoint::infinity();
+  }
+  U256 H = fe_sub(U2, U1);
+  U256 R = fe_sub(S2, S1);
+  U256 H2 = fe_sqr(H);
+  U256 H3 = fe_mul(H, H2);
+  U256 U1H2 = fe_mul(U1, H2);
+  JacobianPoint r;
+  r.X = fe_sub(fe_sub(fe_sqr(R), H3), fe_add(U1H2, U1H2));
+  r.Y = fe_sub(fe_mul(R, fe_sub(U1H2, r.X)), fe_mul(S1, H3));
+  r.Z = fe_mul(fe_mul(p.Z, q.Z), H);
+  return r;
+}
+
+JacobianPoint point_add_affine(const JacobianPoint& p, const AffinePoint& q) {
+  return point_add(p, JacobianPoint::from_affine(q));
+}
+
+JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) {
+  U256 scalar = sc_reduce(k);
+  JacobianPoint acc = JacobianPoint::infinity();
+  JacobianPoint base = JacobianPoint::from_affine(p);
+  int bits = scalar.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = point_double(acc);
+    if (scalar.bit(i)) acc = point_add(acc, base);
+  }
+  return acc;
+}
+
+JacobianPoint double_scalar_mul(const U256& u1, const U256& u2, const AffinePoint& p) {
+  U256 a = sc_reduce(u1);
+  U256 b = sc_reduce(u2);
+  JacobianPoint G = JacobianPoint::from_affine(generator());
+  JacobianPoint P = JacobianPoint::from_affine(p);
+  JacobianPoint GP = point_add(G, P);
+  JacobianPoint acc = JacobianPoint::infinity();
+  int bits = std::max(a.bit_length(), b.bit_length());
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = point_double(acc);
+    bool ba = a.bit(i), bb = b.bit(i);
+    if (ba && bb)
+      acc = point_add(acc, GP);
+    else if (ba)
+      acc = point_add(acc, G);
+    else if (bb)
+      acc = point_add(acc, P);
+  }
+  return acc;
+}
+
+}  // namespace bng::crypto

@@ -1,0 +1,38 @@
+// FIPS 180-4 SHA-256, implemented from scratch (no external crypto deps).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace bng::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view text);
+
+  /// Finalize and return the digest. The object must not be reused afterwards.
+  [[nodiscard]] Hash256 finalize();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot SHA-256.
+[[nodiscard]] Hash256 sha256(std::span<const std::uint8_t> data);
+[[nodiscard]] Hash256 sha256(std::string_view text);
+
+/// Bitcoin's double SHA-256 (used for block ids and txids).
+[[nodiscard]] Hash256 sha256d(std::span<const std::uint8_t> data);
+
+}  // namespace bng::crypto

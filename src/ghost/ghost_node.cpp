@@ -1,0 +1,19 @@
+#include "ghost/ghost_node.hpp"
+
+#include <stdexcept>
+
+namespace bng::ghost {
+
+namespace {
+protocol::NodeConfig validated(protocol::NodeConfig cfg) {
+  if (cfg.params.protocol != chain::Protocol::kGhost)
+    throw std::invalid_argument("GhostNode requires Protocol::kGhost params");
+  return cfg;
+}
+}  // namespace
+
+GhostNode::GhostNode(NodeId id, net::Network& net, chain::BlockPtr genesis,
+                     protocol::NodeConfig cfg, Rng rng, protocol::IBlockObserver* observer)
+    : BitcoinNode(id, net, std::move(genesis), validated(std::move(cfg)), rng, observer) {}
+
+}  // namespace bng::ghost

@@ -1,0 +1,309 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace bng::metrics {
+
+namespace {
+
+using chain::BlockTree;
+using sim::Experiment;
+
+/// Set of block ids on the eventual (global) main chain.
+std::unordered_set<Hash256, Hash256Hasher> main_chain_ids(const Experiment& exp) {
+  std::unordered_set<Hash256, Hash256Hasher> ids;
+  const BlockTree& g = exp.global_tree();
+  for (std::uint32_t idx : g.path_from_genesis(g.best_tip()))
+    ids.insert(g.entry(idx).block->id());
+  return ids;
+}
+
+/// Largest miner = the node with the greatest mining power.
+std::uint32_t largest_miner(const Experiment& exp) {
+  const auto& powers = exp.powers();
+  return static_cast<std::uint32_t>(
+      std::max_element(powers.begin(), powers.end()) - powers.begin());
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> final_main_chain(const Experiment& exp) {
+  const BlockTree& g = exp.global_tree();
+  return g.path_from_genesis(g.best_tip());
+}
+
+double consensus_delay(const Experiment& exp, double epsilon, double delta) {
+  const BlockTree& g = exp.global_tree();
+  const auto& nodes = exp.nodes();
+  const std::size_t n_nodes = nodes.size();
+  const auto quorum = static_cast<std::size_t>(epsilon * static_cast<double>(n_nodes));
+
+  // Generation times (ascending) with global indices: candidate prefix cuts.
+  struct Gen {
+    Seconds at;
+    std::uint32_t gidx;
+  };
+  std::vector<Gen> gens;
+  gens.reserve(exp.trace().generated().size());
+  for (const auto& rec : exp.trace().generated()) {
+    if (auto gi = g.find(rec.block->id())) gens.push_back({rec.at, *gi});
+  }
+  std::sort(gens.begin(), gens.end(), [](const Gen& a, const Gen& b) { return a.at < b.at; });
+  if (gens.empty()) return 0.0;
+
+  // Per node: map node-tree entries to global indices once.
+  std::vector<std::vector<std::uint32_t>> global_of(n_nodes);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    const BlockTree& t = nodes[n]->tree();
+    global_of[n].resize(t.size());
+    for (std::uint32_t i = 0; i < t.size(); ++i) {
+      auto gi = g.find(t.entry(i).block->id());
+      global_of[n][i] = gi ? *gi : 0;  // genesis and unknowns map to root
+    }
+  }
+
+  // Sample the point consensus delay on a uniform grid across the run
+  // (prefix cuts happen at block generation times, per Fig. 4; the reported
+  // delay is measured back to the newest commonly-agreed block's generation).
+  // The first 10% of the run is skipped as genesis warm-up.
+  constexpr std::size_t kSamples = 240;
+  const Seconds t_begin = gens.front().at + 0.1 * (gens.back().at - gens.front().at);
+  const Seconds t_end = gens.back().at;
+  std::vector<Seconds> sample_times;
+  if (t_end <= t_begin) {
+    sample_times.push_back(t_end);
+  } else {
+    for (std::size_t s = 0; s < kSamples; ++s)
+      sample_times.push_back(t_begin + (t_end - t_begin) * static_cast<double>(s + 1) /
+                                           static_cast<double>(kSamples));
+  }
+
+  std::vector<double> point_delays;
+  point_delays.reserve(sample_times.size());
+  std::vector<std::vector<std::pair<Seconds, std::uint32_t>>> chains(n_nodes);
+  std::unordered_map<std::uint32_t, std::size_t> votes;
+
+  for (const Seconds t : sample_times) {
+    // Each node's chain at time t: (timestamp, global idx) ascending.
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      const BlockTree& tree = nodes[n]->tree();
+      const auto& hist = tree.tip_history();
+      // Last tip change at or before t.
+      auto it = std::upper_bound(
+          hist.begin(), hist.end(), t,
+          [](Seconds value, const BlockTree::TipChange& c) { return value < c.at; });
+      const std::uint32_t tip = (it == hist.begin()) ? 0 : std::prev(it)->tip;
+      auto& chain = chains[n];
+      chain.clear();
+      for (std::int32_t cur = static_cast<std::int32_t>(tip); cur != -1;
+           cur = tree.entry(static_cast<std::uint32_t>(cur)).parent) {
+        const auto& e = tree.entry(static_cast<std::uint32_t>(cur));
+        chain.emplace_back(e.block->header().timestamp,
+                           global_of[n][static_cast<std::uint32_t>(cur)]);
+      }
+      std::reverse(chain.begin(), chain.end());
+    }
+
+    // Scan candidate cut times from most recent backwards.
+    double delay = t;  // worst case: only the genesis prefix is agreed
+    for (auto g_it = std::upper_bound(
+             gens.begin(), gens.end(), t,
+             [](Seconds value, const Gen& rec) { return value < rec.at; });
+         g_it != gens.begin();) {
+      --g_it;
+      const Seconds tau = g_it->at;
+      votes.clear();
+      std::size_t best = 0;
+      for (std::size_t n = 0; n < n_nodes; ++n) {
+        const auto& chain = chains[n];
+        // Last chain block with timestamp <= tau.
+        auto c_it = std::upper_bound(
+            chain.begin(), chain.end(), tau,
+            [](Seconds value, const auto& pr) { return value < pr.first; });
+        const std::uint32_t cut = (c_it == chain.begin()) ? 0 : std::prev(c_it)->second;
+        best = std::max(best, ++votes[cut]);
+      }
+      if (best >= quorum) {
+        delay = t - tau;
+        break;
+      }
+    }
+    point_delays.push_back(delay);
+  }
+  return percentile(std::move(point_delays), delta * 100.0);
+}
+
+double fairness(const Experiment& exp) {
+  const std::uint32_t big = largest_miner(exp);
+  const auto main_ids = main_chain_ids(exp);
+  std::uint64_t gen_total = 0, gen_big = 0, main_total = 0, main_big = 0;
+  for (const auto& rec : exp.trace().generated()) {
+    if (rec.block->type() == chain::BlockType::kMicro) continue;
+    ++gen_total;
+    const bool by_big = rec.miner == big;
+    gen_big += by_big ? 1 : 0;
+    if (main_ids.count(rec.block->id()) > 0) {
+      ++main_total;
+      main_big += by_big ? 1 : 0;
+    }
+  }
+  if (gen_total == 0 || main_total == 0 || gen_big == gen_total) return 0.0;
+  const double main_ratio =
+      static_cast<double>(main_total - main_big) / static_cast<double>(main_total);
+  const double gen_ratio =
+      static_cast<double>(gen_total - gen_big) / static_cast<double>(gen_total);
+  return main_ratio / gen_ratio;
+}
+
+double mining_power_utilization(const Experiment& exp) {
+  const auto main_ids = main_chain_ids(exp);
+  double total = 0, main = 0;
+  for (const auto& rec : exp.trace().generated()) {
+    if (rec.block->type() == chain::BlockType::kMicro) continue;
+    total += rec.block->work();
+    if (main_ids.count(rec.block->id()) > 0) main += rec.block->work();
+  }
+  return total > 0 ? main / total : 0.0;
+}
+
+double time_to_prune(const Experiment& exp, double percentile_value) {
+  const auto main_ids = main_chain_ids(exp);
+  std::vector<double> samples;
+
+  for (const auto& node : exp.nodes()) {
+    const BlockTree& t = node->tree();
+    // Receipt curve of main-chain blocks: (received, chain_work), in receipt
+    // order (parents precede children, so work is non-decreasing).
+    std::vector<std::pair<Seconds, double>> main_curve;
+    std::vector<bool> on_main(t.size(), false);
+    for (std::uint32_t i = 0; i < t.size(); ++i) {
+      if (main_ids.count(t.entry(i).block->id()) > 0) {
+        on_main[i] = true;
+        main_curve.emplace_back(t.entry(i).received, t.entry(i).chain_work);
+      }
+    }
+    // Group off-main entries into branches rooted where they leave the chain.
+    std::vector<std::int32_t> branch_of(t.size(), -1);
+    struct Branch {
+      Seconds first_received = 0;
+      double max_work = 0;
+    };
+    std::vector<Branch> branches;
+    for (std::uint32_t i = 1; i < t.size(); ++i) {
+      if (on_main[i]) continue;
+      const auto& e = t.entry(i);
+      const auto parent = static_cast<std::uint32_t>(e.parent);
+      std::int32_t b;
+      if (!on_main[parent] && branch_of[parent] >= 0) {
+        b = branch_of[parent];
+        branches[static_cast<std::size_t>(b)].first_received =
+            std::min(branches[static_cast<std::size_t>(b)].first_received, e.received);
+        branches[static_cast<std::size_t>(b)].max_work =
+            std::max(branches[static_cast<std::size_t>(b)].max_work, e.chain_work);
+      } else {
+        b = static_cast<std::int32_t>(branches.size());
+        branches.push_back(Branch{e.received, e.chain_work});
+      }
+      branch_of[i] = b;
+    }
+    // For each branch: first main-chain receipt whose chain outweighs it.
+    for (const Branch& br : branches) {
+      auto it = std::find_if(main_curve.begin(), main_curve.end(),
+                             [&](const auto& pr) { return pr.second > br.max_work; });
+      if (it == main_curve.end()) continue;  // never pruned within the run
+      if (it->first <= br.first_received) {
+        // The node already held a heavier main chain when the branch block
+        // arrived: pruned immediately.
+        samples.push_back(0.0);
+      } else {
+        samples.push_back(it->first - br.first_received);
+      }
+    }
+  }
+  return percentile(std::move(samples), percentile_value);
+}
+
+double time_to_win(const Experiment& exp, double percentile_value) {
+  const BlockTree& g = exp.global_tree();
+  const auto main_path = g.path_from_genesis(g.best_tip());
+
+  // All generated blocks with their global indices and times.
+  struct Gen {
+    Seconds at;
+    std::uint32_t gidx;
+    NodeId miner;
+  };
+  std::vector<Gen> gens;
+  for (const auto& rec : exp.trace().generated()) {
+    if (auto gi = g.find(rec.block->id())) gens.push_back({rec.at, *gi, rec.miner});
+  }
+
+  std::vector<double> samples;
+  for (std::size_t p = 1; p < main_path.size(); ++p) {  // skip genesis
+    const std::uint32_t b = main_path[p];
+    const Seconds t_b = g.entry(b).received;
+    const NodeId miner_b = g.entry(b).block->miner();
+    double ttw = 0;
+    for (const Gen& other : gens) {
+      if (other.at <= t_b || other.gidx == b) continue;
+      if (other.miner == miner_b) continue;  // "a (different) node"
+      if (g.is_ancestor(b, other.gidx)) continue;  // descendants agree
+      ttw = std::max(ttw, other.at - t_b);
+    }
+    samples.push_back(ttw);
+  }
+  return percentile(std::move(samples), percentile_value);
+}
+
+double transaction_frequency(const Experiment& exp) {
+  const BlockTree& g = exp.global_tree();
+  const auto& tip = g.best_entry();
+  const Seconds duration = tip.received;
+  if (duration <= 0) return 0.0;
+  return static_cast<double>(tip.chain_tx_count) / duration;
+}
+
+std::vector<double> propagation_delays(const Experiment& exp) {
+  std::vector<double> delays;
+  for (const auto& rec : exp.trace().generated()) {
+    const Hash256 id = rec.block->id();
+    for (const auto& node : exp.nodes()) {
+      if (node->id() == rec.miner) continue;  // the miner holds it instantly
+      if (auto idx = node->tree().find(id))
+        delays.push_back(node->tree().entry(*idx).received - rec.at);
+    }
+  }
+  return delays;
+}
+
+MetricsReport compute_metrics(const Experiment& exp, double epsilon, double delta) {
+  MetricsReport r;
+  r.consensus_delay_s = consensus_delay(exp, epsilon, delta);
+  r.fairness = fairness(exp);
+  r.mining_power_utilization = mining_power_utilization(exp);
+  r.time_to_prune_p90_s = time_to_prune(exp, 90);
+  r.time_to_win_p90_s = time_to_win(exp, 90);
+  r.tx_per_sec = transaction_frequency(exp);
+
+  const auto main_ids = main_chain_ids(exp);
+  for (const auto& rec : exp.trace().generated()) {
+    const bool on_main = main_ids.count(rec.block->id()) > 0;
+    if (rec.block->type() == chain::BlockType::kMicro) {
+      ++r.total_micro_blocks;
+      if (on_main) ++r.main_chain_micro_blocks;
+    } else {
+      ++r.total_pow_blocks;
+      if (on_main) ++r.main_chain_pow_blocks;
+    }
+  }
+  const auto& g = exp.global_tree();
+  r.main_chain_txs = g.best_entry().chain_tx_count;
+  r.chain_duration_s = g.best_entry().received;
+  return r;
+}
+
+}  // namespace bng::metrics

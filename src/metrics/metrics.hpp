@@ -1,0 +1,71 @@
+// The paper's evaluation metrics (§6), computed over a finished Experiment.
+//
+//  * (ε,δ) consensus delay — how far back nodes must look to agree
+//  * fairness             — representation of non-largest miners
+//  * mining power utilization — main-chain work / total work
+//  * δ time to prune      — how long until a node knows a branch lost
+//  * time to win          — disagreement window behind each main-chain block
+//  * transaction frequency — committed payload tx/s
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/experiment.hpp"
+
+namespace bng::metrics {
+
+struct MetricsReport {
+  double consensus_delay_s = 0;      ///< (ε,δ), defaults ε=δ=0.9 (paper §8)
+  double fairness = 0;               ///< 1.0 is optimal
+  double mining_power_utilization = 0;
+  double time_to_prune_p90_s = 0;
+  double time_to_win_p90_s = 0;
+  double tx_per_sec = 0;
+
+  // Supporting counts.
+  std::uint32_t main_chain_pow_blocks = 0;
+  std::uint32_t total_pow_blocks = 0;
+  std::uint32_t main_chain_micro_blocks = 0;
+  std::uint32_t total_micro_blocks = 0;
+  std::uint64_t main_chain_txs = 0;
+  Seconds chain_duration_s = 0;
+  std::size_t prune_samples = 0;
+};
+
+/// All metrics at once (shares the per-node precomputation).
+MetricsReport compute_metrics(const sim::Experiment& exp, double epsilon = 0.9,
+                              double delta = 0.9);
+
+/// (ε,δ) consensus delay (§6): the δ-percentile over sample times of the
+/// ε-point-consensus delay, sampled at block generation times (§8 "Metrics").
+double consensus_delay(const sim::Experiment& exp, double epsilon, double delta);
+
+/// Fairness (§8): ratio of (main-chain blocks not by the largest miner /
+/// all main-chain blocks) to (generated blocks not by the largest miner /
+/// all generated blocks). PoW blocks only — microblocks carry no election.
+double fairness(const sim::Experiment& exp);
+
+/// Mining power utilization (§6): main-chain PoW work / all generated work.
+double mining_power_utilization(const sim::Experiment& exp);
+
+/// δ time to prune (§6): per (node, branch), receipt of first branch block
+/// to receipt of the main-chain block that outweighs the branch.
+double time_to_prune(const sim::Experiment& exp, double percentile_value = 90);
+
+/// Time to win (§6): per main-chain block, generation time to the last
+/// generation of a non-descendant block.
+double time_to_win(const sim::Experiment& exp, double percentile_value = 90);
+
+/// Committed payload transactions per second on the eventual main chain.
+double transaction_frequency(const sim::Experiment& exp);
+
+/// One-way block propagation delays pooled over (block, node) pairs:
+/// receipt_time - generation_time. Drives Figure 7.
+std::vector<double> propagation_delays(const sim::Experiment& exp);
+
+/// The eventual main chain: indices into the global tree, genesis first.
+std::vector<std::uint32_t> final_main_chain(const sim::Experiment& exp);
+
+}  // namespace bng::metrics

@@ -1,0 +1,49 @@
+#include "net/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bng::net {
+
+std::uint64_t EventQueue::schedule_at(Seconds at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(std::uint64_t id) { return callbacks_.erase(id) > 0; }
+
+bool EventQueue::pop_one() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled
+      continue;
+    }
+    now_ = top.at;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    heap_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(Seconds t_end) {
+  while (!heap_.empty() && heap_.top().at <= t_end) {
+    if (!pop_one()) break;
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (pop_one()) {
+  }
+}
+
+}  // namespace bng::net

@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// The entire emulated network (paper §7: 1000-node testbed) is driven by one
+// deterministic event queue. Events at equal timestamps are ordered by
+// insertion sequence, so a run is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bng::net {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now). Returns an event id.
+  std::uint64_t schedule_at(Seconds at, Callback fn);
+
+  /// Schedule `fn` after `delay` seconds.
+  std::uint64_t schedule_in(Seconds delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a scheduled event. Returns false if already fired/cancelled.
+  bool cancel(std::uint64_t id);
+
+  /// Run until the queue is empty or simulated time exceeds `t_end`.
+  /// Events scheduled exactly at `t_end` are executed.
+  void run_until(Seconds t_end);
+
+  /// Run until the queue drains completely.
+  void run_all();
+
+  /// Pending event count (cancelled events may be counted until popped).
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;
+    std::uint64_t id;
+
+    bool operator>(const Entry& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_one();  // returns false when queue empty
+
+  Seconds now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // id -> callback; erased on fire/cancel. Deterministic iteration not needed.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace bng::net

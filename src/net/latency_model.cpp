@@ -1,0 +1,60 @@
+#include "net/latency_model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bng::net {
+
+LatencyModel LatencyModel::default_internet() {
+  // One-way delay histogram, long-tailed; weights sum to 1.
+  return LatencyModel({
+      {0.010, 0.040, 0.10},
+      {0.040, 0.080, 0.25},
+      {0.080, 0.120, 0.25},
+      {0.120, 0.200, 0.20},
+      {0.200, 0.350, 0.10},
+      {0.350, 0.600, 0.07},
+      {0.600, 1.500, 0.03},
+  });
+}
+
+LatencyModel LatencyModel::constant(Seconds latency) {
+  return LatencyModel({{latency, latency, 1.0}});
+}
+
+LatencyModel::LatencyModel(std::vector<LatencyBucket> buckets) : buckets_(std::move(buckets)) {
+  if (buckets_.empty()) throw std::invalid_argument("LatencyModel: no buckets");
+  double total = 0;
+  for (const auto& b : buckets_) {
+    if (b.weight < 0 || b.hi < b.lo) throw std::invalid_argument("LatencyModel: bad bucket");
+    total += b.weight;
+  }
+  if (total <= 0) throw std::invalid_argument("LatencyModel: zero total weight");
+  double acc = 0;
+  cumulative_.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    acc += b.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+Seconds LatencyModel::sample(Rng& rng) const {
+  double u = rng.uniform();
+  std::size_t i = 0;
+  while (i + 1 < cumulative_.size() && u >= cumulative_[i]) ++i;
+  const auto& b = buckets_[i];
+  if (b.hi == b.lo) return b.lo;
+  return rng.uniform(b.lo, b.hi);
+}
+
+Seconds LatencyModel::mean() const {
+  double total_w = 0, acc = 0;
+  for (const auto& b : buckets_) {
+    total_w += b.weight;
+    acc += b.weight * 0.5 * (b.lo + b.hi);
+  }
+  return acc / total_w;
+}
+
+}  // namespace bng::net

@@ -1,0 +1,60 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace bng::net {
+
+Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
+                 LinkParams params, Rng& rng)
+    : queue_(queue), topology_(topology), params_(params) {
+  handlers_.resize(topology_.num_nodes(), nullptr);
+  offline_.resize(topology_.num_nodes(), false);
+  // Draw a symmetric latency per undirected edge, once, like the paper's
+  // fixed per-pair assignment.
+  for (NodeId a = 0; a < topology_.num_nodes(); ++a) {
+    for (NodeId b : topology_.peers(a)) {
+      if (a < b) edge_latency_[edge_key(a, b)] = latency.sample(rng);
+    }
+  }
+}
+
+void Network::attach(NodeId node, INode* handler) {
+  if (node >= handlers_.size()) throw std::out_of_range("Network::attach: bad node id");
+  handlers_[node] = handler;
+}
+
+Seconds Network::edge_latency(NodeId a, NodeId b) const {
+  auto it = edge_latency_.find(edge_key(a, b));
+  if (it == edge_latency_.end()) throw std::invalid_argument("Network: no such edge");
+  return it->second;
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  auto lat_it = edge_latency_.find(edge_key(from, to));
+  if (lat_it == edge_latency_.end())
+    throw std::invalid_argument("Network::send: nodes are not neighbours");
+  if (offline_[from] || offline_[to]) return;
+
+  const std::size_t wire_bytes = msg->wire_size() + params_.per_message_overhead_bytes;
+  bytes_sent_ += wire_bytes;
+  ++messages_sent_;
+
+  // Store-and-forward over a serialized directed link.
+  const Seconds transfer = static_cast<double>(wire_bytes) * 8.0 / params_.bandwidth_bps;
+  Seconds& busy_until = link_busy_until_[directed_key(from, to)];
+  const Seconds start = std::max(queue_.now(), busy_until);
+  const Seconds done_sending = start + transfer;
+  busy_until = done_sending;
+  const Seconds arrival = done_sending + lat_it->second;
+
+  queue_.schedule_at(arrival, [this, from, to, msg = std::move(msg)] {
+    if (offline_[to]) return;
+    INode* handler = handlers_[to];
+    if (handler == nullptr) throw std::logic_error("Network: message for unattached node");
+    handler->on_message(from, msg);
+  });
+}
+
+void Network::set_offline(NodeId node, bool offline) { offline_[node] = offline; }
+
+}  // namespace bng::net

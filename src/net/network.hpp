@@ -1,0 +1,102 @@
+// Message transport over the simulated overlay.
+//
+// Models the paper's emulated network (§7): per-pair latency drawn from an
+// empirical histogram and ~100 kbit/s bandwidth between each pair of nodes.
+// Transfers are store-and-forward: a link serializes messages, so a large
+// block occupies the link for size/bandwidth seconds before the propagation
+// latency even begins — this is what creates the linear size/latency
+// relation of Fig 7 and the fork pressure of Fig 8b.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/event_queue.hpp"
+#include "net/latency_model.hpp"
+#include "net/topology.hpp"
+
+namespace bng::net {
+
+/// Base class for anything sent over the wire. Subclasses add payload.
+struct Message {
+  virtual ~Message() = default;
+  /// Serialized size in bytes; drives the bandwidth model.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+  /// Short type tag for tracing.
+  [[nodiscard]] virtual const char* type_name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Interface implemented by protocol nodes.
+class INode {
+ public:
+  virtual ~INode() = default;
+  virtual void on_message(NodeId from, const MessagePtr& msg) = 0;
+};
+
+struct LinkParams {
+  /// Paper §7: "The bandwidth is set to about 100kbit/sec among each pair."
+  double bandwidth_bps = 100'000.0;
+  /// Fixed per-message overhead (headers, framing).
+  std::size_t per_message_overhead_bytes = 40;
+};
+
+class Network {
+ public:
+  Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
+          LinkParams params, Rng& rng);
+
+  /// Attach the protocol object for `node`. Must be called for every node
+  /// before any message is delivered to it.
+  void attach(NodeId node, INode* handler);
+
+  /// Send a message from `from` to direct neighbour `to`. Throws if the edge
+  /// does not exist.
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Neighbours of `node`.
+  [[nodiscard]] const std::vector<NodeId>& peers(NodeId node) const {
+    return topology_.peers(node);
+  }
+
+  [[nodiscard]] std::uint32_t num_nodes() const { return topology_.num_nodes(); }
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// One-way latency of the (a, b) edge; throws if absent.
+  [[nodiscard]] Seconds edge_latency(NodeId a, NodeId b) const;
+
+  /// Total bytes ever put on the wire (payload + overhead).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Partition control (for churn / attack experiments): while a node is
+  /// offline its inbound and outbound messages are dropped.
+  void set_offline(NodeId node, bool offline);
+  [[nodiscard]] bool is_offline(NodeId node) const { return offline_[node]; }
+
+ private:
+  static std::uint64_t edge_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  }
+  static std::uint64_t directed_key(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  EventQueue& queue_;
+  Topology topology_;
+  LinkParams params_;
+  std::vector<INode*> handlers_;
+  std::vector<bool> offline_;
+  std::unordered_map<std::uint64_t, Seconds> edge_latency_;   // undirected
+  std::unordered_map<std::uint64_t, Seconds> link_busy_until_;  // directed
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+};
+
+}  // namespace bng::net

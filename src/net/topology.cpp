@@ -1,0 +1,128 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace bng::net {
+
+Topology Topology::random(std::uint32_t n, std::uint32_t min_degree, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("Topology: need at least 2 nodes");
+  if (min_degree >= n) throw std::invalid_argument("Topology: min_degree >= n");
+  Topology topo;
+  topo.adjacency_.resize(n);
+  for (NodeId a = 0; a < n; ++a) {
+    std::uint32_t attempts = 0;
+    while (topo.adjacency_[a].size() < min_degree && attempts < 100 * min_degree) {
+      ++attempts;
+      NodeId b = static_cast<NodeId>(rng.next_below(n));
+      if (b == a || topo.has_edge(a, b)) continue;
+      topo.add_edge(a, b);
+    }
+  }
+  // Stitch components if the graph happens to be disconnected.
+  std::vector<std::uint32_t> component(n, UINT32_MAX);
+  std::uint32_t num_components = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[start] != UINT32_MAX) continue;
+    std::uint32_t c = num_components++;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    component[start] = c;
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : topo.adjacency_[u]) {
+        if (component[v] == UINT32_MAX) {
+          component[v] = c;
+          frontier.push(v);
+        }
+      }
+    }
+  }
+  if (num_components > 1) {
+    // Connect a random representative of each extra component to component 0.
+    std::vector<NodeId> rep(num_components, kNoNode);
+    for (NodeId v = 0; v < n; ++v)
+      if (rep[component[v]] == kNoNode) rep[component[v]] = v;
+    for (std::uint32_t c = 1; c < num_components; ++c) topo.add_edge(rep[0], rep[c]);
+  }
+  return topo;
+}
+
+Topology Topology::complete(std::uint32_t n) {
+  Topology topo;
+  topo.adjacency_.resize(n);
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b) topo.add_edge(a, b);
+  return topo;
+}
+
+Topology Topology::line(std::uint32_t n) {
+  Topology topo;
+  topo.adjacency_.resize(n);
+  for (NodeId a = 0; a + 1 < n; ++a) topo.add_edge(a, a + 1);
+  return topo;
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  assert(a != b);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), b) != adj.end();
+}
+
+std::size_t Topology::num_edges() const {
+  std::size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total / 2;
+}
+
+bool Topology::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count == adjacency_.size();
+}
+
+std::uint32_t Topology::eccentricity(NodeId from) const {
+  std::vector<std::uint32_t> dist(adjacency_.size(), UINT32_MAX);
+  std::queue<NodeId> frontier;
+  frontier.push(from);
+  dist[from] = 0;
+  std::uint32_t max_dist = 0;
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : adjacency_[u]) {
+      if (dist[v] == UINT32_MAX) {
+        dist[v] = dist[u] + 1;
+        max_dist = std::max(max_dist, dist[v]);
+        frontier.push(v);
+      }
+    }
+  }
+  return max_dist;
+}
+
+}  // namespace bng::net

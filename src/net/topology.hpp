@@ -1,0 +1,51 @@
+// Random peer-to-peer overlay topology.
+//
+// Paper §7: "we construct a random network by connecting each node to at
+// least 5 other nodes, chosen uniformly at random". Edges are undirected; a
+// node's degree can exceed the minimum because other nodes choose it too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace bng::net {
+
+class Topology {
+ public:
+  /// Build a random topology over `n` nodes with `min_degree` outbound picks
+  /// per node. Guaranteed connected (components are stitched if necessary,
+  /// which for n >> min_degree is a vanishingly rare fallback).
+  static Topology random(std::uint32_t n, std::uint32_t min_degree, Rng& rng);
+
+  /// A fully connected graph (testing / idealized analyses).
+  static Topology complete(std::uint32_t n);
+
+  /// A line topology 0-1-2-...-n-1 (worst-case diameter; for tests).
+  static Topology line(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(adjacency_.size());
+  }
+  [[nodiscard]] const std::vector<NodeId>& peers(NodeId node) const {
+    return adjacency_[node];
+  }
+  [[nodiscard]] std::size_t num_edges() const;
+
+  [[nodiscard]] bool connected() const;
+
+  /// Longest shortest-path (hop) distance from `from` to any node; BFS.
+  [[nodiscard]] std::uint32_t eccentricity(NodeId from) const;
+
+  /// Are a and b direct neighbours?
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+
+ private:
+  void add_edge(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace bng::net

@@ -1,0 +1,198 @@
+#include "ng/ng_node.hpp"
+
+#include "chain/validation.hpp"
+
+namespace bng::ng {
+
+namespace {
+/// Bytes reserved in a key block for header + coinbase.
+constexpr std::size_t kKeyBlockOverhead = 400;
+/// Bytes reserved in a microblock for the header.
+constexpr std::size_t kMicroBlockOverhead = 250;
+}  // namespace
+
+NgNode::NgNode(NodeId id, net::Network& net, chain::BlockPtr genesis,
+               protocol::NodeConfig cfg, Rng rng, protocol::IBlockObserver* observer)
+    : BaseNode(id, net, std::move(genesis), std::move(cfg), rng, observer),
+      leader_sk_(crypto::PrivateKey::from_seed(0x6e670000ull + id)),
+      leader_pk_(leader_sk_.public_key()),
+      reward_address_(chain::address_of(leader_pk_)) {}
+
+bool NgNode::is_leader() const {
+  if (my_latest_key_block_.is_zero()) return false;
+  const auto& tip = tree_.best_entry();
+  const auto& epoch = tree_.entry(tip.epoch_key_block);
+  return epoch.block->id() == my_latest_key_block_;
+}
+
+void NgNode::on_mining_win(double work) {
+  const std::uint32_t tip = tree_.best_tip();
+  chain::BlockPtr block = build_key_block(tip, work);
+  ++key_blocks_mined_;
+  my_latest_key_block_ = block->id();
+  if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
+  accept_block(block, id_, work);
+  // Begin (or continue) emitting microblocks for the new epoch.
+  schedule_microblock_tick();
+}
+
+chain::BlockPtr NgNode::build_key_block(std::uint32_t tip, double work) {
+  const auto& tip_entry = tree_.entry(tip);
+  const auto& prev_epoch = tree_.entry(tip_entry.epoch_key_block);
+
+  // Remuneration (§4.4): the coinbase mints the subsidy and distributes the
+  // previous epoch's fees 40% to its leader, 60% to this key block's miner.
+  auto coinbase = std::make_shared<chain::Transaction>();
+  coinbase->coinbase_height = tip_entry.pow_height + 1;
+  const Amount epoch_fees = tip_entry.chain_fee_sum - prev_epoch.chain_fee_sum;
+  const auto leader_share =
+      static_cast<Amount>(cfg_.params.leader_fee_fraction * static_cast<double>(epoch_fees));
+  const Amount next_share = epoch_fees - leader_share;
+  if (prev_epoch.block->header().leader_key && leader_share > 0) {
+    const Hash256 prev_leader = chain::address_of(*prev_epoch.block->header().leader_key);
+    coinbase->outputs.push_back(chain::TxOutput{leader_share, prev_leader});
+    coinbase->outputs.push_back(
+        chain::TxOutput{cfg_.params.block_subsidy + next_share, reward_address_});
+  } else {
+    // Genesis epoch (or zero fees): everything to this miner.
+    coinbase->outputs.push_back(
+        chain::TxOutput{cfg_.params.block_subsidy + epoch_fees, reward_address_});
+  }
+
+  std::vector<chain::TxPtr> txs{std::move(coinbase)};
+  chain::BlockHeader header;
+  header.type = chain::BlockType::kKey;
+  header.prev = tip_entry.block->id();
+  header.timestamp = now();
+  header.merkle_root = chain::compute_merkle_root(txs);
+  header.nonce = rng_.next();  // regtest-style: difficulty check skipped
+  header.leader_key = leader_pk_;
+  return std::make_shared<chain::Block>(std::move(header), std::move(txs), id_, work);
+}
+
+void NgNode::schedule_microblock_tick() {
+  if (tick_scheduled_) return;
+  tick_scheduled_ = true;
+  net_.queue().schedule_in(cfg_.params.microblock_interval, [this] { microblock_tick(); });
+}
+
+void NgNode::microblock_tick() {
+  tick_scheduled_ = false;
+  if (!is_leader()) return;  // leadership lost: stop producing (§4.2)
+  const std::uint32_t tip = tree_.best_tip();
+  chain::BlockPtr block = build_microblock(tip);
+  ++microblocks_generated_;
+  if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
+  accept_block(block, id_, /*work=*/0.0);
+  schedule_microblock_tick();
+}
+
+chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
+  const auto& tip_entry = tree_.entry(tip);
+  std::vector<chain::TxPtr> txs;
+
+  // Place any poison transactions we hold evidence for (§4.5): allowed once
+  // per cheater, only after the accused's epoch ended, and only while the
+  // revenue is still revocable on this chain. Evidence that cannot be placed
+  // yet (e.g. the fork is not visible from the current chain) is retried on
+  // the next microblock.
+  std::deque<FraudEvidence> retry;
+  while (!pending_frauds_.empty()) {
+    FraudEvidence evidence = std::move(pending_frauds_.front());
+    pending_frauds_.pop_front();
+    if (poisoned_epochs_.count(evidence.accused_key_block) > 0) continue;
+    if (evidence.accused_key_block == my_latest_key_block_) continue;  // self
+    const Amount revocable = compute_revocable(tree_, tip, evidence.accused_key_block);
+    const chain::BlockHeader* pruned = select_pruned_header(tree_, tip, evidence);
+    bool placed = false;
+    if (revocable > 0 && pruned != nullptr) {
+      auto probe = make_poison_tx(evidence.accused_key_block, *pruned, reward_address_, 0);
+      if (check_poison(tree_, tip, *probe->poison, cfg_.verify_signatures).ok) {
+        const auto bounty = static_cast<Amount>(
+            cfg_.params.poison_reward_fraction * static_cast<double>(revocable));
+        txs.push_back(
+            make_poison_tx(evidence.accused_key_block, *pruned, reward_address_, bounty));
+        poisoned_epochs_.insert(evidence.accused_key_block);
+        ++poisons_placed_;
+        placed = true;
+      }
+    }
+    if (!placed) retry.push_back(std::move(evidence));
+  }
+  pending_frauds_ = std::move(retry);
+
+  std::size_t poison_bytes = 0;
+  for (const auto& tx : txs) poison_bytes += tx->wire_size();
+  std::vector<chain::TxPtr> payload = assemble_payload(
+      tip, cfg_.params.max_microblock_size, kMicroBlockOverhead + poison_bytes);
+  txs.insert(txs.end(), payload.begin(), payload.end());
+
+  chain::BlockHeader header;
+  header.type = chain::BlockType::kMicro;
+  header.prev = tip_entry.block->id();
+  header.timestamp = now();
+  header.merkle_root = chain::compute_merkle_root(txs);
+  sign_header(header);
+  return std::make_shared<chain::Block>(std::move(header), std::move(txs), id_, 0.0);
+}
+
+void NgNode::sign_header(chain::BlockHeader& header) const {
+  header.signature = crypto::sign(leader_sk_, header.signing_hash());
+}
+
+chain::BlockPtr NgNode::forge_microblock(const Hash256& parent_id) {
+  auto parent_idx = tree_.find(parent_id);
+  if (!parent_idx) throw std::invalid_argument("forge_microblock: unknown parent");
+  chain::BlockPtr block = build_microblock(*parent_idx);
+  ++microblocks_generated_;
+  if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
+  // Bypass normal acceptance: announce only (the forger may withhold it from
+  // its own tree to keep its view consistent).
+  known_.insert(block->id());
+  if (!tree_.contains(block->id())) {
+    // Insert so we can serve getdata for it.
+    if (tree_.contains(block->header().prev)) tree_.insert(block, now(), 0.0);
+  }
+  announce(block->id(), id_);
+  return block;
+}
+
+void NgNode::note_microblock(const chain::BlockPtr& block, std::uint32_t parent_idx) {
+  const Hash256 epoch_id = tree_.entry(tree_.entry(parent_idx).epoch_key_block).block->id();
+  if (auto fraud = detector_.observe(epoch_id, block->header())) {
+    if (observer_ != nullptr) observer_->on_fraud_detected(id_, epoch_id, now());
+    pending_frauds_.push_back(std::move(*fraud));
+  }
+}
+
+void NgNode::handle_block(const chain::BlockPtr& block, NodeId from) {
+  if (tree_.contains(block->id())) return;
+  if (auto r = chain::check_size(*block, cfg_.params); !r.ok) return;
+
+  switch (block->type()) {
+    case chain::BlockType::kKey: {
+      if (auto r = chain::check_key_block(*block); !r.ok) return;
+      if (!ensure_parent(block, from)) return;
+      accept_block(block, from, block->work());
+      break;
+    }
+    case chain::BlockType::kMicro: {
+      if (!ensure_parent(block, from)) return;
+      const std::uint32_t parent_idx = *tree_.find(block->header().prev);
+      const auto& parent = tree_.entry(parent_idx);
+      const auto& epoch = tree_.entry(parent.epoch_key_block);
+      if (!epoch.block->header().leader_key) return;  // no leader yet: invalid
+      auto r = chain::check_microblock(*block, *epoch.block->header().leader_key,
+                                       parent.block->header().timestamp, now(), cfg_.params,
+                                       cfg_.verify_signatures);
+      if (!r.ok) return;
+      note_microblock(block, parent_idx);
+      accept_block(block, from, /*work=*/0.0);
+      break;
+    }
+    case chain::BlockType::kPow:
+      return;  // Bitcoin blocks are not valid on an NG chain.
+  }
+}
+
+}  // namespace bng::ng

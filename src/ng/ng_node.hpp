@@ -1,0 +1,65 @@
+// Bitcoin-NG protocol node (paper §4).
+//
+// Wins key blocks through the external mining scheduler; while its key block
+// heads the main chain it is the leader and emits signed microblocks at the
+// configured rate. Implements the 40/60 fee split (§4.4) and places poison
+// transactions when it holds fraud evidence (§4.5).
+#pragma once
+
+#include <deque>
+
+#include "crypto/ecdsa.hpp"
+#include "ng/poison.hpp"
+#include "protocol/base_node.hpp"
+
+namespace bng::ng {
+
+class NgNode : public protocol::BaseNode {
+ public:
+  NgNode(NodeId id, net::Network& net, chain::BlockPtr genesis, protocol::NodeConfig cfg,
+         Rng rng, protocol::IBlockObserver* observer);
+
+  /// The mining scheduler decided this node found the next key block.
+  void on_mining_win(double work) override;
+
+  /// Identity used to sign this node's epochs.
+  [[nodiscard]] const crypto::PublicKey& leader_pubkey() const { return leader_pk_; }
+  [[nodiscard]] const Hash256& reward_address() const { return reward_address_; }
+
+  /// Is this node currently the leader on its own view?
+  [[nodiscard]] bool is_leader() const;
+
+  [[nodiscard]] std::uint64_t key_blocks_mined() const { return key_blocks_mined_; }
+  [[nodiscard]] std::uint64_t microblocks_generated() const { return microblocks_generated_; }
+  [[nodiscard]] std::uint64_t poisons_placed() const { return poisons_placed_; }
+
+  /// Testing/attack hook: create and broadcast a signed microblock extending
+  /// an arbitrary parent — used to model an equivocating (fraudulent) leader.
+  chain::BlockPtr forge_microblock(const Hash256& parent_id);
+
+ protected:
+  void handle_block(const chain::BlockPtr& block, NodeId from) override;
+
+ private:
+  void schedule_microblock_tick();
+  void microblock_tick();
+  [[nodiscard]] chain::BlockPtr build_key_block(std::uint32_t tip, double work);
+  [[nodiscard]] chain::BlockPtr build_microblock(std::uint32_t tip);
+  void sign_header(chain::BlockHeader& header) const;
+  void note_microblock(const chain::BlockPtr& block, std::uint32_t parent_idx);
+
+  crypto::PrivateKey leader_sk_;
+  crypto::PublicKey leader_pk_;
+  Hash256 reward_address_;
+  Hash256 my_latest_key_block_;
+  bool tick_scheduled_ = false;
+  EquivocationDetector detector_;
+  std::deque<FraudEvidence> pending_frauds_;
+  std::unordered_set<Hash256, Hash256Hasher> poisoned_epochs_;
+
+  std::uint64_t key_blocks_mined_ = 0;
+  std::uint64_t microblocks_generated_ = 0;
+  std::uint64_t poisons_placed_ = 0;
+};
+
+}  // namespace bng::ng

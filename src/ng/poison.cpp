@@ -1,0 +1,133 @@
+#include "ng/poison.hpp"
+
+#include "crypto/ecdsa.hpp"
+
+namespace bng::ng {
+
+std::optional<FraudEvidence> EquivocationDetector::observe(const Hash256& epoch_key_block,
+                                                           const chain::BlockHeader& header) {
+  const auto key = std::make_pair(epoch_key_block, header.prev);
+  auto [it, inserted] = first_seen_.emplace(key, header);
+  if (inserted) return std::nullopt;
+  const Hash256 first_id = it->second.id();
+  if (first_id == header.id()) return std::nullopt;  // same block re-observed
+  if (reported_epochs_.count(epoch_key_block) > 0) return std::nullopt;
+  reported_epochs_.insert(epoch_key_block);
+  FraudEvidence evidence;
+  evidence.accused_key_block = epoch_key_block;
+  evidence.header_a = it->second;
+  evidence.header_b = header;
+  return evidence;
+}
+
+const chain::BlockHeader* select_pruned_header(const chain::BlockTree& tree,
+                                               std::uint32_t tip,
+                                               const FraudEvidence& evidence) {
+  auto on_chain = [&](const chain::BlockHeader& h) {
+    auto idx = tree.find(h.id());
+    return idx && tree.is_ancestor(*idx, tip);
+  };
+  if (!on_chain(evidence.header_b)) return &evidence.header_b;
+  if (!on_chain(evidence.header_a)) return &evidence.header_a;
+  return nullptr;
+}
+
+Amount compute_revocable(const chain::BlockTree& tree, std::uint32_t tip,
+                         const Hash256& accused_key_block) {
+  auto accused_idx = tree.find(accused_key_block);
+  if (!accused_idx || !tree.is_ancestor(*accused_idx, tip)) return 0;
+  const auto& accused_entry = tree.entry(*accused_idx);
+  if (!accused_entry.block->header().leader_key) return 0;
+  const Hash256 leader_addr = chain::address_of(*accused_entry.block->header().leader_key);
+
+  Amount revocable = 0;
+  auto add_coinbase_outputs = [&](const chain::Block& block) {
+    if (block.txs().empty() || !block.txs()[0]->is_coinbase()) return;
+    for (const auto& out : block.txs()[0]->outputs)
+      if (out.owner == leader_addr) revocable += out.value;
+  };
+  add_coinbase_outputs(*accused_entry.block);
+  // Find the next key block on the path to tip (it pays the 40% fee share).
+  std::uint32_t cur = tip;
+  std::uint32_t next_key = UINT32_MAX;
+  while (cur != *accused_idx) {
+    if (tree.entry(cur).block->type() == chain::BlockType::kKey) next_key = cur;
+    cur = static_cast<std::uint32_t>(tree.entry(cur).parent);
+  }
+  if (next_key != UINT32_MAX) add_coinbase_outputs(*tree.entry(next_key).block);
+  return revocable;
+}
+
+chain::TxPtr make_poison_tx(const Hash256& accused_key_block,
+                            const chain::BlockHeader& pruned_header,
+                            const Hash256& poisoner_address, Amount bounty) {
+  auto tx = std::make_shared<chain::Transaction>();
+  ByteWriter w;
+  pruned_header.serialize(w);
+  chain::PoisonPayload payload;
+  payload.accused_key_block = accused_key_block;
+  payload.pruned_header = w.data();
+  payload.pruned_header_id = pruned_header.id();
+  tx->poison = std::move(payload);
+  tx->outputs.push_back(chain::TxOutput{bounty, poisoner_address});
+  return tx;
+}
+
+chain::ValidationResult check_poison(const chain::BlockTree& tree, std::uint32_t tip,
+                                     const chain::PoisonPayload& payload,
+                                     bool verify_signature) {
+  using chain::ValidationResult;
+  // 1. Accused key block on the chain.
+  auto accused_idx = tree.find(payload.accused_key_block);
+  if (!accused_idx || !tree.is_ancestor(*accused_idx, tip))
+    return ValidationResult::fail("accused key block not on chain");
+  const auto& accused = tree.entry(*accused_idx);
+  if (accused.block->type() != chain::BlockType::kKey || !accused.block->header().leader_key)
+    return ValidationResult::fail("accused block is not a key block");
+
+  // 2. Parse the pruned header; must be a microblock.
+  chain::BlockHeader pruned;
+  try {
+    ByteReader r(payload.pruned_header);
+    pruned = chain::BlockHeader::deserialize(r);
+  } catch (const std::exception&) {
+    return ValidationResult::fail("pruned header does not parse");
+  }
+  if (pruned.type != chain::BlockType::kMicro)
+    return ValidationResult::fail("pruned header is not a microblock");
+  if (pruned.id() != payload.pruned_header_id)
+    return ValidationResult::fail("pruned header id mismatch");
+  if (!pruned.signature) return ValidationResult::fail("pruned header unsigned");
+  if (verify_signature &&
+      !crypto::verify(*accused.block->header().leader_key, pruned.signing_hash(),
+                      *pruned.signature))
+    return ValidationResult::fail("pruned header not signed by accused leader");
+
+  // 3. The pruned header must not be on the chain.
+  if (auto pruned_idx = tree.find(payload.pruned_header_id);
+      pruned_idx && tree.is_ancestor(*pruned_idx, tip))
+    return ValidationResult::fail("claimed pruned header is on the main chain");
+
+  // 4. Equivocation: the chain extends the same predecessor with a different
+  //    microblock of the accused epoch.
+  auto prev_idx = tree.find(pruned.prev);
+  if (!prev_idx || !tree.is_ancestor(*prev_idx, tip))
+    return ValidationResult::fail("pruned header's predecessor not on chain");
+  // Find the chain's successor of prev on the path to tip.
+  std::uint32_t successor = UINT32_MAX;
+  for (std::uint32_t cur = tip; cur != *prev_idx;
+       cur = static_cast<std::uint32_t>(tree.entry(cur).parent)) {
+    successor = cur;
+  }
+  if (successor == UINT32_MAX)
+    return ValidationResult::fail("predecessor is the tip; no equivocation shown");
+  const auto& succ = tree.entry(successor);
+  if (succ.block->type() != chain::BlockType::kMicro ||
+      succ.epoch_key_block != *accused_idx)
+    return ValidationResult::fail("chain successor is not an accused-epoch microblock");
+  if (succ.block->id() == payload.pruned_header_id)
+    return ValidationResult::fail("headers identical; no fork");
+  return {};
+}
+
+}  // namespace bng::ng

@@ -1,0 +1,151 @@
+#include "protocol/base_node.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bng::protocol {
+
+namespace {
+chain::BlockTree::ForkChoice fork_choice_for(const chain::Params& params) {
+  return params.protocol == chain::Protocol::kGhost
+             ? chain::BlockTree::ForkChoice::kHeaviestSubtree
+             : chain::BlockTree::ForkChoice::kHeaviestChain;
+}
+}  // namespace
+
+BaseNode::BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeConfig cfg,
+                   Rng rng, IBlockObserver* observer)
+    : id_(id),
+      net_(net),
+      cfg_(std::move(cfg)),
+      rng_(rng),
+      tree_(std::move(genesis), cfg_.params.tie_break, fork_choice_for(cfg_.params), &rng_),
+      observer_(observer) {
+  if (cfg_.workload_mode == WorkloadMode::kSynthetic && cfg_.workload == nullptr)
+    throw std::invalid_argument("BaseNode: synthetic mode needs a workload");
+}
+
+void BaseNode::on_message(NodeId from, const net::MessagePtr& msg) {
+  if (auto inv = std::dynamic_pointer_cast<const InvMessage>(msg)) {
+    handle_inv(from, *inv);
+  } else if (auto req = std::dynamic_pointer_cast<const GetDataMessage>(msg)) {
+    handle_getdata(from, *req);
+  } else if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
+    handle_block_msg(from, *blk);
+  } else {
+    throw std::logic_error("BaseNode: unknown message type");
+  }
+}
+
+void BaseNode::handle_inv(NodeId from, const InvMessage& inv) {
+  if (known_.count(inv.block_id) > 0 || requested_.count(inv.block_id) > 0) return;
+  requested_.insert(inv.block_id);
+  net_.send(id_, from, std::make_shared<GetDataMessage>(inv.block_id));
+}
+
+void BaseNode::handle_getdata(NodeId from, const GetDataMessage& req) {
+  chain::BlockPtr block = find_block(req.block_id);
+  if (block != nullptr) net_.send(id_, from, std::make_shared<BlockMessage>(std::move(block)));
+}
+
+chain::BlockPtr BaseNode::find_block(const Hash256& id) const {
+  if (auto idx = tree_.find(id)) return tree_.entry(*idx).block;
+  for (const auto& [parent, list] : orphans_)
+    for (const auto& [block, from] : list)
+      if (block->id() == id) return block;
+  return nullptr;
+}
+
+void BaseNode::handle_block_msg(NodeId from, const BlockMessage& msg) {
+  const chain::BlockPtr& block = msg.block;
+  const Hash256 id = block->id();
+  requested_.erase(id);
+  if (known_.count(id) > 0) return;
+  known_.insert(id);
+  // Model verification cost on this node's CPU, then hand to the protocol.
+  const Seconds cost =
+      cfg_.verify_fixed +
+      static_cast<double>(block->wire_size()) / cfg_.verify_bytes_per_second;
+  process_after(cost, [this, block, from] { handle_block(block, from); });
+}
+
+void BaseNode::process_after(Seconds cost, std::function<void()> fn) {
+  const Seconds start = std::max(now(), cpu_busy_until_);
+  cpu_busy_until_ = start + cost;
+  net_.queue().schedule_at(cpu_busy_until_, std::move(fn));
+}
+
+void BaseNode::announce(const Hash256& id, NodeId except) {
+  for (NodeId peer : net_.peers(id_)) {
+    if (peer == except) continue;
+    net_.send(id_, peer, std::make_shared<InvMessage>(id));
+  }
+}
+
+std::uint32_t BaseNode::accept_block(const chain::BlockPtr& block, NodeId from, double work) {
+  const std::uint32_t old_tip = tree_.best_tip();
+  const std::uint32_t index = tree_.insert(block, now(), work);
+  known_.insert(block->id());
+  if (cfg_.workload_mode == WorkloadMode::kFullMempool) {
+    const std::uint32_t new_tip = tree_.best_tip();
+    if (new_tip != old_tip) update_mempool_for_tip_change(old_tip, new_tip);
+  }
+  if (should_relay(index)) announce(block->id(), from);
+  after_accept(block, index, old_tip);
+  resolve_orphans(block->id());
+  return index;
+}
+
+bool BaseNode::ensure_parent(const chain::BlockPtr& block, NodeId from) {
+  const Hash256& parent = block->header().prev;
+  if (tree_.contains(parent)) return true;
+  orphans_[parent].emplace_back(block, from);
+  if (requested_.count(parent) == 0 && known_.count(parent) == 0 && from != id_) {
+    requested_.insert(parent);
+    net_.send(id_, from, std::make_shared<GetDataMessage>(parent));
+  }
+  return false;
+}
+
+void BaseNode::resolve_orphans(const Hash256& parent_id) {
+  auto it = orphans_.find(parent_id);
+  if (it == orphans_.end()) return;
+  auto waiting = std::move(it->second);
+  orphans_.erase(it);
+  for (auto& [block, from] : waiting) handle_block(block, from);
+}
+
+std::vector<chain::TxPtr> BaseNode::assemble_payload(std::uint32_t tip, std::size_t max_bytes,
+                                                     std::size_t reserve_bytes) {
+  if (cfg_.workload_mode == WorkloadMode::kSynthetic) {
+    const SyntheticWorkload& pool = *cfg_.workload;
+    std::vector<chain::TxPtr> out;
+    if (pool.tx_wire_size == 0 || reserve_bytes >= max_bytes) return out;
+    std::size_t budget = max_bytes - reserve_bytes;
+    std::size_t start = tree_.entry(tip).chain_tx_count;
+    std::size_t count = std::min(budget / pool.tx_wire_size,
+                                 pool.txs.size() > start ? pool.txs.size() - start : 0);
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(pool.txs[start + i]);
+    return out;
+  }
+  return mempool_.assemble(max_bytes, reserve_bytes);
+}
+
+void BaseNode::update_mempool_for_tip_change(std::uint32_t old_tip, std::uint32_t new_tip) {
+  const std::uint32_t fork = tree_.common_ancestor(old_tip, new_tip);
+  // Return transactions from abandoned blocks to the pool...
+  for (std::uint32_t cur = old_tip; cur != fork;
+       cur = static_cast<std::uint32_t>(tree_.entry(cur).parent)) {
+    for (const auto& tx : tree_.entry(cur).block->txs())
+      if (!tx->is_coinbase()) mempool_.mark_excluded(tx->id());
+  }
+  // ...and mark the newly adopted chain's transactions as included.
+  for (std::uint32_t cur = new_tip; cur != fork;
+       cur = static_cast<std::uint32_t>(tree_.entry(cur).parent)) {
+    for (const auto& tx : tree_.entry(cur).block->txs())
+      if (!tx->is_coinbase()) mempool_.mark_included(tx->id());
+  }
+}
+
+}  // namespace bng::protocol

@@ -1,0 +1,146 @@
+// Shared machinery for protocol nodes: gossip, orphan handling, a CPU model
+// for block verification, and mempool/workload bookkeeping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "chain/mempool.hpp"
+#include "chain/params.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/observer.hpp"
+
+namespace bng::protocol {
+
+/// Pre-generated synthetic transaction pool shared by all nodes
+/// (paper §7 "No Transaction Propagation": identical mempools, independent
+/// identically-sized transactions serializable in any order).
+struct SyntheticWorkload {
+  std::vector<chain::TxPtr> txs;
+  std::size_t tx_wire_size = 0;  ///< identical for all txs
+  Amount fee_per_tx = 0;
+};
+
+enum class WorkloadMode {
+  /// Assemble from the shared pool by chain position: O(1) state per node,
+  /// used for large-scale sweeps.
+  kSynthetic,
+  /// Full mempool with inclusion tracking and reorg handling.
+  kFullMempool,
+};
+
+struct NodeConfig {
+  chain::Params params;
+  /// Relative mining power of this node.
+  double mining_power = 1.0;
+  /// Block verification cost model: fixed + size-proportional CPU time.
+  /// 25 MB/s approximates a 2015-era bitcoind (ECDSA + UTXO checks).
+  Seconds verify_fixed = 0.002;
+  double verify_bytes_per_second = 25e6;
+  /// Check microblock ECDSA signatures (the paper's artifact skipped this;
+  /// we support both).
+  bool verify_signatures = false;
+  WorkloadMode workload_mode = WorkloadMode::kSynthetic;
+  const SyntheticWorkload* workload = nullptr;  ///< required in kSynthetic mode
+};
+
+class BaseNode : public net::INode {
+ public:
+  BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeConfig cfg, Rng rng,
+           IBlockObserver* observer);
+  ~BaseNode() override = default;
+
+  // INode:
+  void on_message(NodeId from, const net::MessagePtr& msg) final;
+
+  /// Mining scheduler callback: this node won the next proof-of-work.
+  /// `work` is the PoW weight of the won block (difficulty units).
+  virtual void on_mining_win(double work) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const chain::BlockTree& tree() const { return tree_; }
+  [[nodiscard]] chain::Mempool& mempool() { return mempool_; }
+  [[nodiscard]] const NodeConfig& config() const { return cfg_; }
+
+  /// Submit a transaction locally (full-mempool mode).
+  void submit_transaction(const chain::TxPtr& tx) { mempool_.submit(tx); }
+
+  /// Blocks accepted into this node's tree.
+  [[nodiscard]] std::size_t blocks_known() const { return tree_.size(); }
+
+ protected:
+  /// Protocol-specific validation + insertion. Runs after the verification
+  /// delay. Implementations call accept_block() when the block is valid.
+  virtual void handle_block(const chain::BlockPtr& block, NodeId from) = 0;
+
+  /// Insert into the tree, relay, resolve orphans, maintain the mempool.
+  /// Returns the tree index.
+  std::uint32_t accept_block(const chain::BlockPtr& block, NodeId from, double work);
+
+  /// Announce a block id to all neighbours except `except`.
+  void announce(const Hash256& id, NodeId except);
+
+  /// If the block's parent is in the tree, returns true. Otherwise buffers
+  /// the block as an orphan, requests the parent from `from`, and returns
+  /// false.
+  bool ensure_parent(const chain::BlockPtr& block, NodeId from);
+
+  /// Queue `fn` on this node's CPU after `cost` seconds of processing.
+  void process_after(Seconds cost, std::function<void()> fn);
+
+  [[nodiscard]] Seconds now() const { return net_.queue().now(); }
+
+  /// Assemble up to `max_bytes` of payload transactions on top of `tip`.
+  [[nodiscard]] std::vector<chain::TxPtr> assemble_payload(std::uint32_t tip,
+                                                           std::size_t max_bytes,
+                                                           std::size_t reserve_bytes);
+
+  /// Update mempool inclusion state after the tip moved (full-mempool mode).
+  void update_mempool_for_tip_change(std::uint32_t old_tip, std::uint32_t new_tip);
+
+  /// Called after a block is accepted and the tip possibly changed.
+  virtual void after_accept(const chain::BlockPtr& block, std::uint32_t index,
+                            std::uint32_t old_tip) {
+    (void)block;
+    (void)index;
+    (void)old_tip;
+  }
+
+  /// Relay policy. bitcoind only announces blocks on its active chain; GHOST
+  /// (paper §9) must propagate all blocks so nodes can weigh subtrees.
+  [[nodiscard]] virtual bool should_relay(std::uint32_t index) const {
+    return tree_.is_ancestor(index, tree_.best_tip());
+  }
+
+  NodeId id_;
+  net::Network& net_;
+  NodeConfig cfg_;
+  Rng rng_;
+  chain::BlockTree tree_;
+  chain::Mempool mempool_;
+  IBlockObserver* observer_;
+
+  /// Block bodies known but whose parent is missing: parent id -> blocks.
+  std::unordered_map<Hash256, std::vector<std::pair<chain::BlockPtr, NodeId>>, Hash256Hasher>
+      orphans_;
+  std::unordered_set<Hash256, Hash256Hasher> known_;      ///< seen bodies
+  std::unordered_set<Hash256, Hash256Hasher> requested_;  ///< outstanding getdata
+
+ private:
+  void handle_inv(NodeId from, const InvMessage& inv);
+  void handle_getdata(NodeId from, const GetDataMessage& req);
+  void handle_block_msg(NodeId from, const BlockMessage& msg);
+  void resolve_orphans(const Hash256& parent_id);
+  [[nodiscard]] chain::BlockPtr find_block(const Hash256& id) const;
+
+  Seconds cpu_busy_until_ = 0;
+};
+
+}  // namespace bng::protocol

@@ -1,0 +1,37 @@
+// Wire messages for block gossip, mirroring bitcoind's inv/getdata/block flow.
+#pragma once
+
+#include "chain/block.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace bng::protocol {
+
+/// Announcement of a block id (bitcoind `inv`).
+struct InvMessage final : net::Message {
+  Hash256 block_id;
+
+  explicit InvMessage(const Hash256& id) : block_id(id) {}
+  [[nodiscard]] std::size_t wire_size() const override { return 36; }
+  [[nodiscard]] const char* type_name() const override { return "inv"; }
+};
+
+/// Request for a block body (bitcoind `getdata`).
+struct GetDataMessage final : net::Message {
+  Hash256 block_id;
+
+  explicit GetDataMessage(const Hash256& id) : block_id(id) {}
+  [[nodiscard]] std::size_t wire_size() const override { return 36; }
+  [[nodiscard]] const char* type_name() const override { return "getdata"; }
+};
+
+/// Full block body.
+struct BlockMessage final : net::Message {
+  chain::BlockPtr block;
+
+  explicit BlockMessage(chain::BlockPtr b) : block(std::move(b)) {}
+  [[nodiscard]] std::size_t wire_size() const override { return block->wire_size(); }
+  [[nodiscard]] const char* type_name() const override { return "block"; }
+};
+
+}  // namespace bng::protocol

@@ -1,0 +1,25 @@
+// Observation hooks through which the simulation harness records traces.
+#pragma once
+
+#include "chain/block.hpp"
+#include "common/types.hpp"
+
+namespace bng::protocol {
+
+class IBlockObserver {
+ public:
+  virtual ~IBlockObserver() = default;
+
+  /// A node generated (mined or, for microblocks, signed) a new block.
+  virtual void on_block_generated(const chain::BlockPtr& block, NodeId miner, Seconds at) = 0;
+
+  /// A node detected leader equivocation (microblock fork fraud, §4.5).
+  virtual void on_fraud_detected(NodeId detector, const Hash256& accused_key_block,
+                                 Seconds at) {
+    (void)detector;
+    (void)accused_key_block;
+    (void)at;
+  }
+};
+
+}  // namespace bng::protocol

@@ -1,0 +1,160 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitcoin/bitcoin_node.hpp"
+#include "ghost/ghost_node.hpp"
+#include "ng/ng_node.hpp"
+#include "sim/miner_distribution.hpp"
+
+namespace bng::sim {
+
+namespace {
+/// Hard cap on synthetic pool size to bound memory (≈ 300 MB of txs).
+constexpr std::size_t kMaxPoolSize = 400'000;
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)), master_rng_(cfg_.seed) {}
+
+Experiment::~Experiment() = default;
+
+void Experiment::build_workload() {
+  std::size_t pool = cfg_.pool_size;
+  if (pool == 0) {
+    // Auto-size: enough transactions to fill every counted block twice over.
+    const std::size_t per_block =
+        (cfg_.params.protocol == chain::Protocol::kBitcoinNG ? cfg_.params.max_microblock_size
+                                                             : cfg_.params.max_block_size) /
+        std::max<std::size_t>(cfg_.tx_size, 1);
+    pool = 2 * static_cast<std::size_t>(cfg_.target_blocks) * std::max<std::size_t>(per_block, 1) +
+           1000;
+  }
+  pool = std::min(pool, kMaxPoolSize);
+
+  genesis_ = chain::make_genesis(pool, kCoin);
+  const Hash256 genesis_txid = genesis_->txs()[0]->id();
+
+  // Determine padding so that every tx hits exactly cfg_.tx_size on the wire.
+  auto probe = chain::make_transfer(chain::Outpoint{genesis_txid, 0}, kCoin - cfg_.tx_fee,
+                                    chain::address_from_tag(0), cfg_.tx_fee, 0);
+  const std::size_t base_size = probe->wire_size();
+  const std::uint32_t padding =
+      cfg_.tx_size > base_size ? static_cast<std::uint32_t>(cfg_.tx_size - base_size) : 0;
+
+  workload_.txs.clear();
+  workload_.txs.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    workload_.txs.push_back(chain::make_transfer(
+        chain::Outpoint{genesis_txid, static_cast<std::uint32_t>(i)}, kCoin - cfg_.tx_fee,
+        chain::address_from_tag(i + 1'000'000), cfg_.tx_fee, padding));
+  }
+  workload_.tx_wire_size = workload_.txs.empty() ? cfg_.tx_size : workload_.txs[0]->wire_size();
+  workload_.fee_per_tx = cfg_.tx_fee;
+}
+
+void Experiment::build_nodes() {
+  Rng topo_rng = master_rng_.fork(1);
+  Rng latency_rng = master_rng_.fork(2);
+  Rng sched_rng = master_rng_.fork(3);
+
+  net::Topology topology = net::Topology::random(cfg_.num_nodes, cfg_.min_degree, topo_rng);
+  const net::LatencyModel latency =
+      cfg_.latency ? *cfg_.latency : net::LatencyModel::default_internet();
+  network_ =
+      std::make_unique<net::Network>(queue_, topology, latency, cfg_.link, latency_rng);
+
+  trace_ = std::make_unique<TraceRecorder>(genesis_);
+
+  powers_ = cfg_.custom_powers ? *cfg_.custom_powers
+                               : exponential_powers(cfg_.num_nodes, cfg_.power_exponent);
+  if (powers_.size() != cfg_.num_nodes)
+    throw std::invalid_argument("Experiment: powers size != num_nodes");
+
+  nodes_.clear();
+  nodes_.reserve(cfg_.num_nodes);
+  for (NodeId i = 0; i < cfg_.num_nodes; ++i) {
+    protocol::NodeConfig ncfg;
+    ncfg.params = cfg_.params;
+    ncfg.mining_power = powers_[i];
+    ncfg.verify_fixed = cfg_.verify_fixed;
+    ncfg.verify_bytes_per_second = cfg_.verify_bytes_per_second;
+    ncfg.verify_signatures = cfg_.verify_signatures;
+    ncfg.workload_mode = cfg_.workload_mode;
+    ncfg.workload = &workload_;
+    Rng node_rng = master_rng_.fork(1000 + i);
+    std::unique_ptr<protocol::BaseNode> node;
+    if (cfg_.node_factory)
+      node = cfg_.node_factory(i, *network_, genesis_, ncfg, node_rng, trace_.get());
+    if (node == nullptr) switch (cfg_.params.protocol) {
+      case chain::Protocol::kBitcoin:
+        node = std::make_unique<bitcoin::BitcoinNode>(i, *network_, genesis_, ncfg, node_rng,
+                                                      trace_.get());
+        break;
+      case chain::Protocol::kBitcoinNG:
+        node = std::make_unique<ng::NgNode>(i, *network_, genesis_, ncfg, node_rng,
+                                            trace_.get());
+        break;
+      case chain::Protocol::kGhost:
+        node = std::make_unique<ghost::GhostNode>(i, *network_, genesis_, ncfg, node_rng,
+                                                  trace_.get());
+        break;
+    }
+    network_->attach(i, node.get());
+    nodes_.push_back(std::move(node));
+  }
+
+  std::vector<protocol::BaseNode*> miners;
+  miners.reserve(nodes_.size());
+  for (auto& n : nodes_) miners.push_back(n.get());
+  scheduler_ = std::make_unique<MiningScheduler>(queue_, std::move(miners), powers_,
+                                                 cfg_.params.block_interval, sched_rng);
+  if (cfg_.retarget) scheduler_->enable_difficulty(*cfg_.retarget);
+
+  // In full-mempool mode every node starts with the identical pool.
+  if (cfg_.workload_mode == protocol::WorkloadMode::kFullMempool) {
+    for (auto& n : nodes_)
+      for (const auto& tx : workload_.txs) n->submit_transaction(tx);
+  }
+}
+
+void Experiment::build() {
+  if (built_) return;
+  built_ = true;
+  build_workload();
+  build_nodes();
+  for (const auto& event : cfg_.churn) {
+    if (event.node >= cfg_.num_nodes)
+      throw std::invalid_argument("Experiment: churn event for unknown node");
+    queue_.schedule_at(event.at, [this, event] {
+      network_->set_offline(event.node, !event.online);
+    });
+  }
+}
+
+std::uint64_t Experiment::counted_blocks() const {
+  return cfg_.params.protocol == chain::Protocol::kBitcoinNG ? trace_->micro_blocks()
+                                                             : trace_->pow_blocks();
+}
+
+void Experiment::run() {
+  build();
+  scheduler_->start();
+
+  // Run until the counted-block target is reached, in bounded steps so the
+  // stop condition is re-evaluated as the run progresses.
+  const Seconds step = std::max<Seconds>(cfg_.params.block_interval / 4, 1.0);
+  // Generous safety horizon: 10000 x the expected run length.
+  const Seconds horizon =
+      10000.0 * cfg_.params.block_interval * std::max<std::uint32_t>(cfg_.target_blocks, 1);
+  while (counted_blocks() < cfg_.target_blocks) {
+    if (queue_.now() > horizon)
+      throw std::runtime_error("Experiment: stop condition never reached");
+    queue_.run_until(queue_.now() + step);
+  }
+  scheduler_->stop();
+  end_time_ = queue_.now() + cfg_.drain_time;
+  queue_.run_until(end_time_);
+}
+
+}  // namespace bng::sim

@@ -1,0 +1,126 @@
+// Experiment runner: builds a full emulated deployment (paper §7) and runs
+// it to a block-count target.
+//
+// One Experiment = one data point in the paper's figures: a topology, a
+// latency assignment, a miner population, pre-filled mempools, and a
+// protocol (Bitcoin / Bitcoin-NG / GHOST) run for a set number of blocks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chain/params.hpp"
+#include "net/latency_model.hpp"
+#include "net/network.hpp"
+#include "protocol/base_node.hpp"
+#include "sim/mining_scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace bng::sim {
+
+struct ExperimentConfig {
+  chain::Params params;
+
+  // --- Deployment (paper §7) ----------------------------------------------
+  /// Paper: 1000 nodes (~15% of the then-operational Bitcoin network).
+  std::uint32_t num_nodes = 1000;
+  std::uint32_t min_degree = 5;
+  net::LinkParams link;  ///< ~100 kbit/s pairwise
+  std::optional<net::LatencyModel> latency;  ///< default: default_internet()
+
+  // --- Workload (paper §7 "No Transaction Propagation") --------------------
+  std::size_t tx_size = 476;   ///< identical-size txs; ~3.5 tx/s at 1MB/600s
+  Amount tx_fee = 10'000;
+  /// Pool size; 0 = auto-sized from the stop target with ample slack.
+  std::size_t pool_size = 0;
+
+  // --- Stop condition (paper §8: "50-100 Bitcoin blocks or NG microblocks")
+  std::uint32_t target_blocks = 60;
+  Seconds drain_time = 120;  ///< extra time for the last blocks to settle
+
+  // --- Node model -----------------------------------------------------------
+  Seconds verify_fixed = 0.002;
+  double verify_bytes_per_second = 25e6;
+  bool verify_signatures = false;
+  protocol::WorkloadMode workload_mode = protocol::WorkloadMode::kSynthetic;
+
+  // --- Mining population -----------------------------------------------------
+  /// Power of node i ∝ exp(power_exponent * (i+1)) — the paper's fit.
+  double power_exponent = -0.27;
+  /// Override the exponential population entirely.
+  std::optional<std::vector<double>> custom_powers;
+  /// Enable difficulty retargeting (churn experiments).
+  std::optional<chain::RetargetRule> retarget;
+
+  // --- Custom node types (attack experiments) -------------------------------
+  /// If set, called for every node id; return nullptr to fall back to the
+  /// default node for `params.protocol`. Enables mixed populations, e.g. one
+  /// SelfishMiner among honest BitcoinNodes.
+  std::function<std::unique_ptr<protocol::BaseNode>(
+      NodeId, net::Network&, chain::BlockPtr, const protocol::NodeConfig&, Rng,
+      protocol::IBlockObserver*)>
+      node_factory;
+
+  // --- Churn (paper §1: "robust to extreme churn") --------------------------
+  struct ChurnEvent {
+    Seconds at = 0;
+    NodeId node = 0;
+    bool online = true;  ///< false: drop all traffic to/from the node
+  };
+  /// Scheduled connectivity changes, applied during run().
+  std::vector<ChurnEvent> churn;
+
+  std::uint64_t seed = 1;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig cfg);
+  ~Experiment();
+
+  /// Build the deployment without running (allows callbacks/attacks setup).
+  void build();
+
+  /// Run to the stop condition. Implies build() if not yet built.
+  void run();
+
+  // --- Accessors -------------------------------------------------------------
+  [[nodiscard]] const ExperimentConfig& config() const { return cfg_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return *trace_; }
+  [[nodiscard]] const chain::BlockTree& global_tree() const { return trace_->global_tree(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<protocol::BaseNode>>& nodes() const {
+    return nodes_;
+  }
+  [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::EventQueue& queue() { return queue_; }
+  [[nodiscard]] MiningScheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] const protocol::SyntheticWorkload& workload() const { return workload_; }
+  [[nodiscard]] Seconds end_time() const { return end_time_; }
+  [[nodiscard]] chain::BlockPtr genesis() const { return genesis_; }
+
+  /// Count of generated blocks matching the stop-condition type
+  /// (Bitcoin/GHOST: PoW blocks; NG: microblocks).
+  [[nodiscard]] std::uint64_t counted_blocks() const;
+
+ private:
+  void build_workload();
+  void build_nodes();
+
+  ExperimentConfig cfg_;
+  net::EventQueue queue_;
+  Rng master_rng_;
+  chain::BlockPtr genesis_;
+  protocol::SyntheticWorkload workload_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MiningScheduler> scheduler_;
+  std::vector<std::unique_ptr<protocol::BaseNode>> nodes_;
+  std::vector<double> powers_;
+  bool built_ = false;
+  Seconds end_time_ = 0;
+};
+
+}  // namespace bng::sim

@@ -1,0 +1,67 @@
+#include "sim/miner_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace bng::sim {
+
+std::vector<double> exponential_powers(std::uint32_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("exponential_powers: n == 0");
+  std::vector<double> powers(n);
+  double total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    powers[i] = std::exp(exponent * static_cast<double>(i + 1));
+    total += powers[i];
+  }
+  for (auto& p : powers) p /= total;
+  return powers;
+}
+
+std::vector<double> uniform_powers(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_powers: n == 0");
+  return std::vector<double>(n, 1.0 / n);
+}
+
+std::vector<double> synthetic_weekly_shares(std::uint32_t n_pools, double exponent,
+                                            double noise_sigma, Rng& rng) {
+  std::vector<double> shares(n_pools);
+  double total = 0;
+  for (std::uint32_t i = 0; i < n_pools; ++i) {
+    double base = std::exp(exponent * static_cast<double>(i + 1));
+    shares[i] = base * std::exp(rng.normal(0.0, noise_sigma));
+    total += shares[i];
+  }
+  for (auto& s : shares) s /= total;
+  // Weekly rank order: shares are reported by rank, largest first.
+  std::sort(shares.begin(), shares.end(), std::greater<>());
+  return shares;
+}
+
+RankStatistics weekly_rank_statistics(std::uint32_t n_pools, std::uint32_t n_weeks,
+                                      double exponent, double noise_sigma, Rng& rng) {
+  std::vector<std::vector<double>> by_rank(n_pools);
+  for (std::uint32_t w = 0; w < n_weeks; ++w) {
+    auto shares = synthetic_weekly_shares(n_pools, exponent, noise_sigma, rng);
+    for (std::uint32_t r = 0; r < n_pools; ++r) by_rank[r].push_back(shares[r]);
+  }
+  RankStatistics stats;
+  for (std::uint32_t r = 0; r < n_pools; ++r) {
+    stats.p25.push_back(percentile(by_rank[r], 25));
+    stats.p50.push_back(percentile(by_rank[r], 50));
+    stats.p75.push_back(percentile(by_rank[r], 75));
+  }
+  return stats;
+}
+
+ExponentFit fit_rank_exponent(const std::vector<double>& medians) {
+  std::vector<double> ranks(medians.size());
+  for (std::size_t i = 0; i < medians.size(); ++i) ranks[i] = static_cast<double>(i + 1);
+  LinearFit fit = exponential_fit(ranks, medians);
+  return ExponentFit{fit.slope, fit.r2};
+}
+
+}  // namespace bng::sim

@@ -1,0 +1,46 @@
+// Mining-power population model (paper §7 "Mining Power", Figure 6).
+//
+// The paper gathered a year of per-block pool attribution (BlockTrail API),
+// ranked entities by weekly share, and fit an exponential to the medians:
+// share(rank) ∝ exp(-0.27 * rank), R² = 0.99. That data is not distributable;
+// we generate populations from the published fit, plus noisy synthetic
+// weekly samples to regenerate Figure 6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bng::sim {
+
+/// Normalized power vector for `n` miners: power[i] ∝ exp(exponent*(i+1)).
+/// With exponent = -0.27 the largest miner holds ~24% of the total,
+/// matching the paper's "tending towards 1/4, the size of the largest miner".
+std::vector<double> exponential_powers(std::uint32_t n, double exponent = -0.27);
+
+/// Equal power for all miners (idealized baselines and tests).
+std::vector<double> uniform_powers(std::uint32_t n);
+
+/// One synthetic "week" of pool shares: exponential ranks perturbed by
+/// lognormal noise, renormalized and re-ranked (Fig 6 regeneration).
+std::vector<double> synthetic_weekly_shares(std::uint32_t n_pools, double exponent,
+                                            double noise_sigma, Rng& rng);
+
+/// Per-rank percentile table over many synthetic weeks.
+struct RankStatistics {
+  std::vector<double> p25;
+  std::vector<double> p50;
+  std::vector<double> p75;
+};
+RankStatistics weekly_rank_statistics(std::uint32_t n_pools, std::uint32_t n_weeks,
+                                      double exponent, double noise_sigma, Rng& rng);
+
+/// Fit exp(k*rank) to the medians; returns the exponent k and R² (log space).
+struct ExponentFit {
+  double exponent = 0;
+  double r2 = 0;
+};
+ExponentFit fit_rank_exponent(const std::vector<double>& medians);
+
+}  // namespace bng::sim

@@ -1,0 +1,32 @@
+#include "sim/trace.hpp"
+
+namespace bng::sim {
+
+TraceRecorder::TraceRecorder(chain::BlockPtr genesis)
+    : tree_(std::move(genesis), chain::TieBreak::kFirstSeen,
+            chain::BlockTree::ForkChoice::kHeaviestChain, nullptr) {}
+
+void TraceRecorder::on_block_generated(const chain::BlockPtr& block, NodeId miner,
+                                       Seconds at) {
+  index_.emplace(block->id(), generated_.size());
+  generated_.push_back(Generated{block, miner, at});
+  if (block->type() == chain::BlockType::kMicro)
+    ++micro_blocks_;
+  else
+    ++pow_blocks_;
+  // A miner can only extend a block that exists, so the parent is always
+  // already present in the reference tree.
+  if (!tree_.contains(block->id())) tree_.insert(block, at, block->work());
+}
+
+void TraceRecorder::on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) {
+  frauds_.push_back(FraudEvent{detector, accused, at});
+}
+
+std::optional<std::size_t> TraceRecorder::find(const Hash256& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bng::sim

@@ -1,0 +1,59 @@
+// Trace recording: the global, omniscient view of a run.
+//
+// Nodes report generated blocks through IBlockObserver; the recorder keeps
+// the generation registry and a reference block tree built at generation
+// times, from which the metrics suite derives the eventual main chain.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block_tree.hpp"
+#include "common/types.hpp"
+#include "protocol/observer.hpp"
+
+namespace bng::sim {
+
+class TraceRecorder : public protocol::IBlockObserver {
+ public:
+  struct Generated {
+    chain::BlockPtr block;
+    NodeId miner = kNoNode;
+    Seconds at = 0;
+  };
+
+  struct FraudEvent {
+    NodeId detector = kNoNode;
+    Hash256 accused_key_block;
+    Seconds at = 0;
+  };
+
+  explicit TraceRecorder(chain::BlockPtr genesis);
+
+  void on_block_generated(const chain::BlockPtr& block, NodeId miner, Seconds at) override;
+  void on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) override;
+
+  [[nodiscard]] const std::vector<Generated>& generated() const { return generated_; }
+  [[nodiscard]] const std::vector<FraudEvent>& frauds() const { return frauds_; }
+
+  [[nodiscard]] std::uint64_t pow_blocks() const { return pow_blocks_; }
+  [[nodiscard]] std::uint64_t micro_blocks() const { return micro_blocks_; }
+
+  /// Reference tree: every generated block at its generation time.
+  [[nodiscard]] const chain::BlockTree& global_tree() const { return tree_; }
+
+  /// Generation record for a block id, if any.
+  [[nodiscard]] std::optional<std::size_t> find(const Hash256& id) const;
+  [[nodiscard]] const Generated& record(std::size_t idx) const { return generated_[idx]; }
+
+ private:
+  std::vector<Generated> generated_;
+  std::vector<FraudEvent> frauds_;
+  std::unordered_map<Hash256, std::size_t, Hash256Hasher> index_;
+  chain::BlockTree tree_;
+  std::uint64_t pow_blocks_ = 0;
+  std::uint64_t micro_blocks_ = 0;
+};
+
+}  // namespace bng::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "chain/block.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace bng::chain {
+namespace {
+
+std::vector<TxPtr> mixed_txs() {
+  std::vector<TxPtr> txs;
+  auto coinbase = std::make_shared<Transaction>();
+  coinbase->coinbase_height = 7;
+  coinbase->outputs.push_back(TxOutput{25 * kCoin, address_from_tag(1)});
+  coinbase->outputs.push_back(TxOutput{100, address_from_tag(2)});
+  txs.push_back(coinbase);
+  Outpoint op;
+  op.txid.bytes[5] = 0xaa;
+  op.vout = 3;
+  txs.push_back(make_transfer(op, 5000, address_from_tag(3), 42, 137));
+  auto poison = std::make_shared<Transaction>();
+  PoisonPayload payload;
+  payload.accused_key_block.bytes[0] = 0x11;
+  payload.pruned_header = {9, 8, 7, 6, 5};
+  payload.pruned_header_id.bytes[1] = 0x22;
+  poison->poison = payload;
+  poison->outputs.push_back(TxOutput{12, address_from_tag(4)});
+  txs.push_back(poison);
+  return txs;
+}
+
+BlockPtr sample_block(BlockType type) {
+  auto txs = mixed_txs();
+  BlockHeader h;
+  h.type = type;
+  h.prev.bytes[0] = 0x42;
+  h.timestamp = 123.456;
+  h.merkle_root = compute_merkle_root(txs);
+  h.nonce = 9876543210ull;
+  h.target = crypto::U256(0xffffff);
+  if (type == BlockType::kKey)
+    h.leader_key = crypto::PrivateKey::from_seed(3).public_key();
+  if (type == BlockType::kMicro) {
+    auto sk = crypto::PrivateKey::from_seed(4);
+    h.signature = crypto::sign(sk, h.signing_hash());
+  }
+  return std::make_shared<Block>(h, txs, 17, 2.5);
+}
+
+class BlockSerializationTest : public ::testing::TestWithParam<BlockType> {};
+
+TEST_P(BlockSerializationTest, RoundTripPreservesIdentity) {
+  BlockPtr original = sample_block(GetParam());
+  ByteWriter w;
+  original->serialize(w);
+  ByteReader r(w.data());
+  BlockPtr restored = Block::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(restored->id(), original->id());
+  EXPECT_EQ(restored->miner(), original->miner());
+  EXPECT_EQ(restored->type(), original->type());
+  EXPECT_EQ(restored->txs().size(), original->txs().size());
+  EXPECT_EQ(restored->wire_size(), original->wire_size());
+  EXPECT_TRUE(restored->merkle_ok());
+}
+
+TEST_P(BlockSerializationTest, RoundTripPreservesWork) {
+  BlockPtr original = sample_block(GetParam());
+  ByteWriter w;
+  original->serialize(w);
+  ByteReader r(w.data());
+  BlockPtr restored = Block::deserialize(r);
+  EXPECT_DOUBLE_EQ(restored->work(), original->work());
+}
+
+TEST_P(BlockSerializationTest, TransactionContentSurvives) {
+  BlockPtr original = sample_block(GetParam());
+  ByteWriter w;
+  original->serialize(w);
+  ByteReader r(w.data());
+  BlockPtr restored = Block::deserialize(r);
+  for (std::size_t i = 0; i < original->txs().size(); ++i) {
+    EXPECT_EQ(restored->txs()[i]->id(), original->txs()[i]->id()) << "tx " << i;
+    EXPECT_EQ(restored->txs()[i]->wire_size(), original->txs()[i]->wire_size());
+  }
+  // Spot-check the poison payload.
+  ASSERT_TRUE(restored->txs()[2]->is_poison());
+  EXPECT_EQ(restored->txs()[2]->poison->pruned_header,
+            original->txs()[2]->poison->pruned_header);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, BlockSerializationTest,
+                         ::testing::Values(BlockType::kPow, BlockType::kKey,
+                                           BlockType::kMicro));
+
+TEST(BlockSerialization, GenesisRoundTrip) {
+  auto genesis = make_genesis(50, kCoin);
+  ByteWriter w;
+  genesis->serialize(w);
+  ByteReader r(w.data());
+  auto restored = Block::deserialize(r);
+  EXPECT_EQ(restored->id(), genesis->id());
+  EXPECT_EQ(restored->txs()[0]->outputs.size(), 50u);
+}
+
+TEST(BlockSerialization, TruncatedInputThrows) {
+  auto block = sample_block(BlockType::kPow);
+  ByteWriter w;
+  block->serialize(w);
+  auto data = w.data();
+  data.resize(data.size() / 2);
+  ByteReader r(data);
+  EXPECT_THROW(Block::deserialize(r), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bng::chain

@@ -1,0 +1,254 @@
+#include "chain/block_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bng::chain {
+namespace {
+
+/// Minimal block factory for tree tests; txs are irrelevant here.
+BlockPtr make_block(BlockType type, const Hash256& prev, Seconds ts, std::uint32_t miner,
+                    std::uint64_t salt = 0) {
+  BlockHeader h;
+  h.type = type;
+  h.prev = prev;
+  h.timestamp = ts;
+  h.nonce = salt;
+  if (type == BlockType::kKey)
+    h.leader_key = crypto::PrivateKey::from_seed(miner).public_key();
+  return std::make_shared<Block>(h, std::vector<TxPtr>{}, miner);
+}
+
+class BlockTreeTest : public ::testing::Test {
+ protected:
+  BlockTreeTest()
+      : genesis_(make_genesis(1, kCoin)),
+        rng_(1),
+        tree_(genesis_, TieBreak::kFirstSeen, BlockTree::ForkChoice::kHeaviestChain, &rng_) {}
+
+  BlockPtr genesis_;
+  Rng rng_;
+  BlockTree tree_;
+};
+
+TEST_F(BlockTreeTest, GenesisIsInitialTip) {
+  EXPECT_EQ(tree_.size(), 1u);
+  EXPECT_EQ(tree_.best_tip(), BlockTree::kGenesisIndex);
+  EXPECT_TRUE(tree_.contains(genesis_->id()));
+}
+
+TEST_F(BlockTreeTest, InsertExtendsTip) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  auto idx = tree_.insert(b1, 1.0, 1.0);
+  EXPECT_EQ(tree_.best_tip(), idx);
+  EXPECT_EQ(tree_.entry(idx).height, 1u);
+  EXPECT_EQ(tree_.entry(idx).chain_work, 1.0);
+}
+
+TEST_F(BlockTreeTest, DuplicateInsertThrows) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  tree_.insert(b1, 1.0, 1.0);
+  EXPECT_THROW(tree_.insert(b1, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST_F(BlockTreeTest, UnknownParentThrows) {
+  Hash256 missing;
+  missing.bytes[0] = 0xee;
+  auto orphan = make_block(BlockType::kPow, missing, 1.0, 0);
+  EXPECT_THROW(tree_.insert(orphan, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST_F(BlockTreeTest, HeavierBranchWinsRegardlessOfArrival) {
+  auto a1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  auto a1_idx = tree_.insert(a1, 1.0, 1.0);
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.1, 1);
+  tree_.insert(b1, 1.1, 1.0);
+  EXPECT_EQ(tree_.best_tip(), a1_idx);  // first-seen keeps a1 on the tie
+  auto b2 = make_block(BlockType::kPow, b1->id(), 2.0, 1);
+  auto b2_idx = tree_.insert(b2, 2.0, 1.0);
+  EXPECT_EQ(tree_.best_tip(), b2_idx);  // now strictly heavier
+}
+
+TEST_F(BlockTreeTest, FirstSeenKeepsCurrentOnTie) {
+  auto a1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  auto a1_idx = tree_.insert(a1, 1.0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    auto rival = make_block(BlockType::kPow, genesis_->id(), 1.5, 2, 100 + i);
+    tree_.insert(rival, 1.5, 1.0);
+    EXPECT_EQ(tree_.best_tip(), a1_idx);
+  }
+}
+
+TEST(BlockTreeRandomTie, EventuallySwitches) {
+  // Random tie-breaking (paper §3): with enough equal-weight rivals the tip
+  // must switch at least once.
+  auto genesis = make_genesis(1, kCoin);
+  Rng rng(7);
+  BlockTree tree(genesis, TieBreak::kRandom, BlockTree::ForkChoice::kHeaviestChain, &rng);
+  auto a1 = make_block(BlockType::kPow, genesis->id(), 1.0, 0);
+  auto a1_idx = tree.insert(a1, 1.0, 1.0);
+  bool switched = false;
+  for (int i = 0; i < 20 && !switched; ++i) {
+    auto rival = make_block(BlockType::kPow, genesis->id(), 1.5, 2, 200 + i);
+    tree.insert(rival, 1.5, 1.0);
+    switched = tree.best_tip() != a1_idx;
+  }
+  EXPECT_TRUE(switched);
+}
+
+TEST(BlockTreeRandomTie, RequiresRng) {
+  auto genesis = make_genesis(1, kCoin);
+  EXPECT_THROW(
+      BlockTree(genesis, TieBreak::kRandom, BlockTree::ForkChoice::kHeaviestChain, nullptr),
+      std::invalid_argument);
+}
+
+TEST_F(BlockTreeTest, MicroblocksExtendWithoutWeight) {
+  auto k1 = make_block(BlockType::kKey, genesis_->id(), 1.0, 0);
+  tree_.insert(k1, 1.0, 1.0);
+  auto m1 = make_block(BlockType::kMicro, k1->id(), 2.0, 0);
+  auto m1_idx = tree_.insert(m1, 2.0, 0.0);
+  EXPECT_EQ(tree_.best_tip(), m1_idx);  // descendant of tip extends it
+  EXPECT_EQ(tree_.entry(m1_idx).chain_work, 1.0);
+  EXPECT_EQ(tree_.entry(m1_idx).pow_height, 1u);
+  EXPECT_EQ(tree_.entry(m1_idx).height, 2u);
+}
+
+TEST_F(BlockTreeTest, KeyBlockPrunesMicroblockFork) {
+  // Fig 2: the new key block outweighs any number of pruned microblocks.
+  auto k1 = make_block(BlockType::kKey, genesis_->id(), 1.0, 0);
+  tree_.insert(k1, 1.0, 1.0);
+  auto m1 = make_block(BlockType::kMicro, k1->id(), 2.0, 0);
+  tree_.insert(m1, 2.0, 0.0);
+  auto m2 = make_block(BlockType::kMicro, m1->id(), 3.0, 0);
+  auto m2_idx = tree_.insert(m2, 3.0, 0.0);
+  EXPECT_EQ(tree_.best_tip(), m2_idx);
+  // New key block forks from k1 (it had not seen m1, m2).
+  auto k2 = make_block(BlockType::kKey, k1->id(), 3.5, 1);
+  auto k2_idx = tree_.insert(k2, 3.5, 1.0);
+  EXPECT_EQ(tree_.best_tip(), k2_idx);
+}
+
+TEST_F(BlockTreeTest, EpochKeyBlockTracking) {
+  auto k1 = make_block(BlockType::kKey, genesis_->id(), 1.0, 0);
+  auto k1_idx = tree_.insert(k1, 1.0, 1.0);
+  auto m1 = make_block(BlockType::kMicro, k1->id(), 2.0, 0);
+  auto m1_idx = tree_.insert(m1, 2.0, 0.0);
+  auto k2 = make_block(BlockType::kKey, m1->id(), 3.0, 1);
+  auto k2_idx = tree_.insert(k2, 3.0, 1.0);
+  auto m2 = make_block(BlockType::kMicro, k2->id(), 4.0, 1);
+  auto m2_idx = tree_.insert(m2, 4.0, 0.0);
+  EXPECT_EQ(tree_.entry(m1_idx).epoch_key_block, k1_idx);
+  EXPECT_EQ(tree_.entry(k2_idx).epoch_key_block, k2_idx);
+  EXPECT_EQ(tree_.entry(m2_idx).epoch_key_block, k2_idx);
+  EXPECT_EQ(tree_.entry(k1_idx).epoch_key_block, k1_idx);
+}
+
+TEST_F(BlockTreeTest, AncestorQueries) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  auto i1 = tree_.insert(b1, 1.0, 1.0);
+  auto b2 = make_block(BlockType::kPow, b1->id(), 2.0, 0);
+  auto i2 = tree_.insert(b2, 2.0, 1.0);
+  auto r1 = make_block(BlockType::kPow, genesis_->id(), 1.5, 1);
+  auto ir = tree_.insert(r1, 1.5, 1.0);
+
+  EXPECT_TRUE(tree_.is_ancestor(0, i2));
+  EXPECT_TRUE(tree_.is_ancestor(i1, i2));
+  EXPECT_TRUE(tree_.is_ancestor(i2, i2));
+  EXPECT_FALSE(tree_.is_ancestor(ir, i2));
+  EXPECT_FALSE(tree_.is_ancestor(i2, i1));
+  EXPECT_EQ(tree_.common_ancestor(i2, ir), 0u);
+  EXPECT_EQ(tree_.common_ancestor(i2, i1), i1);
+}
+
+TEST_F(BlockTreeTest, PathFromGenesis) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  auto i1 = tree_.insert(b1, 1.0, 1.0);
+  auto b2 = make_block(BlockType::kPow, b1->id(), 2.0, 0);
+  auto i2 = tree_.insert(b2, 2.0, 1.0);
+  auto path = tree_.path_from_genesis(i2);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0u);
+  EXPECT_EQ(path[1], i1);
+  EXPECT_EQ(path[2], i2);
+}
+
+TEST_F(BlockTreeTest, AncestorAtOrBeforeTime) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 10.0, 0);
+  auto i1 = tree_.insert(b1, 10.0, 1.0);
+  auto b2 = make_block(BlockType::kPow, b1->id(), 20.0, 0);
+  auto i2 = tree_.insert(b2, 20.0, 1.0);
+  EXPECT_EQ(tree_.ancestor_at_or_before(i2, 25.0), i2);
+  EXPECT_EQ(tree_.ancestor_at_or_before(i2, 15.0), i1);
+  EXPECT_EQ(tree_.ancestor_at_or_before(i2, 5.0), 0u);
+}
+
+TEST_F(BlockTreeTest, ChainTxAndFeeAccounting) {
+  auto tx1 = make_transfer(Outpoint{genesis_->txs()[0]->id(), 0}, kCoin - 10,
+                           address_from_tag(1), 10);
+  auto tx2 = make_transfer(Outpoint{genesis_->txs()[0]->id(), 1}, kCoin - 20,
+                           address_from_tag(2), 20);
+  BlockHeader h;
+  h.type = BlockType::kPow;
+  h.prev = genesis_->id();
+  h.timestamp = 1.0;
+  std::vector<TxPtr> txs{tx1, tx2};
+  h.merkle_root = compute_merkle_root(txs);
+  auto idx = tree_.insert(std::make_shared<Block>(h, txs, 0), 1.0, 1.0);
+  EXPECT_EQ(tree_.entry(idx).chain_tx_count, 2u);
+  EXPECT_EQ(tree_.entry(idx).chain_fee_sum, 30);
+}
+
+TEST_F(BlockTreeTest, TipHistoryRecordsSwitches) {
+  auto b1 = make_block(BlockType::kPow, genesis_->id(), 1.0, 0);
+  tree_.insert(b1, 1.0, 1.0);
+  auto b2 = make_block(BlockType::kPow, b1->id(), 2.0, 0);
+  tree_.insert(b2, 2.0, 1.0);
+  const auto& hist = tree_.tip_history();
+  ASSERT_EQ(hist.size(), 3u);  // genesis + two extensions
+  EXPECT_EQ(hist[0].tip, 0u);
+  EXPECT_EQ(hist[1].at, 1.0);
+  EXPECT_EQ(hist[2].at, 2.0);
+}
+
+TEST(BlockTreeGhost, HeaviestSubtreeBeatsLongestChain) {
+  // GHOST picks the subtree with more total work even if its chain is
+  // shorter (paper §9 / Appendix A).
+  auto genesis = make_genesis(1, kCoin);
+  Rng rng(3);
+  BlockTree tree(genesis, TieBreak::kFirstSeen, BlockTree::ForkChoice::kHeaviestSubtree,
+                 &rng);
+  // Branch A: a1 - a2 (chain work 2).
+  auto a1 = make_block(BlockType::kPow, genesis->id(), 1.0, 0);
+  tree.insert(a1, 1.0, 1.0);
+  auto a2 = make_block(BlockType::kPow, a1->id(), 2.0, 0);
+  auto a2_idx = tree.insert(a2, 2.0, 1.0);
+  EXPECT_EQ(tree.best_tip(), a2_idx);
+  // Branch B: b1 with three children (subtree work 4 > 2) but depth 2.
+  auto b1 = make_block(BlockType::kPow, genesis->id(), 1.5, 1);
+  auto b1_idx = tree.insert(b1, 1.5, 1.0);
+  auto c1 = make_block(BlockType::kPow, b1->id(), 2.5, 2, 1);
+  tree.insert(c1, 2.5, 1.0);
+  auto c2 = make_block(BlockType::kPow, b1->id(), 2.6, 3, 2);
+  tree.insert(c2, 2.6, 1.0);
+  auto c3 = make_block(BlockType::kPow, b1->id(), 2.7, 4, 3);
+  tree.insert(c3, 2.7, 1.0);
+  // Heaviest-subtree tip lives under b1 even though branch A's chain has the
+  // same length as b1->c1.
+  EXPECT_TRUE(tree.is_ancestor(b1_idx, tree.best_tip()));
+}
+
+TEST(BlockTreeGhost, SubtreeWorkAccumulates) {
+  auto genesis = make_genesis(1, kCoin);
+  Rng rng(4);
+  BlockTree tree(genesis, TieBreak::kFirstSeen, BlockTree::ForkChoice::kHeaviestSubtree,
+                 &rng);
+  auto b1 = make_block(BlockType::kPow, genesis->id(), 1.0, 0);
+  auto i1 = tree.insert(b1, 1.0, 1.0);
+  auto b2 = make_block(BlockType::kPow, b1->id(), 2.0, 0);
+  tree.insert(b2, 2.0, 1.0);
+  EXPECT_EQ(tree.entry(i1).subtree_work, 2.0);
+  EXPECT_EQ(tree.entry(0).subtree_work, 2.0);
+}
+
+}  // namespace
+}  // namespace bng::chain

@@ -1,0 +1,81 @@
+#include "chain/difficulty.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bng::chain {
+namespace {
+
+RetargetRule rule(std::uint32_t interval, Seconds spacing, double clamp = 4.0) {
+  return RetargetRule{interval, spacing, clamp};
+}
+
+TEST(Retarget, OnScheduleKeepsDifficulty) {
+  // Blocks arrived exactly on time: difficulty unchanged.
+  EXPECT_DOUBLE_EQ(retarget(100.0, 2016 * 600.0, rule(2016, 600)), 100.0);
+}
+
+TEST(Retarget, FastBlocksRaiseDifficulty) {
+  // Blocks twice as fast -> difficulty doubles.
+  EXPECT_DOUBLE_EQ(retarget(100.0, 2016 * 300.0, rule(2016, 600)), 200.0);
+}
+
+TEST(Retarget, SlowBlocksLowerDifficulty) {
+  EXPECT_DOUBLE_EQ(retarget(100.0, 2016 * 1200.0, rule(2016, 600)), 50.0);
+}
+
+TEST(Retarget, ClampLimitsSingleStep) {
+  // 100x too fast, but the step is clamped at 4x (Bitcoin rule).
+  EXPECT_DOUBLE_EQ(retarget(100.0, 2016 * 6.0, rule(2016, 600)), 400.0);
+  // 100x too slow: clamped at /4.
+  EXPECT_DOUBLE_EQ(retarget(100.0, 2016 * 60000.0, rule(2016, 600)), 25.0);
+}
+
+TEST(Retarget, NonPositiveDifficultyThrows) {
+  EXPECT_THROW(retarget(0.0, 100.0, rule(10, 10)), std::invalid_argument);
+  EXPECT_THROW(retarget(-5.0, 100.0, rule(10, 10)), std::invalid_argument);
+}
+
+TEST(DifficultyTrackerTest, NoChangeWithinWindow) {
+  DifficultyTracker tracker(100.0, rule(10, 60));
+  for (int i = 1; i <= 9; ++i) tracker.on_block(i * 60.0);
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 100.0);
+  EXPECT_EQ(tracker.height(), 9u);
+}
+
+TEST(DifficultyTrackerTest, RetargetsAtBoundary) {
+  DifficultyTracker tracker(100.0, rule(10, 60));
+  // 10 blocks in 300 s instead of 600 s: difficulty should double.
+  for (int i = 1; i <= 10; ++i) tracker.on_block(i * 30.0);
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 200.0);
+}
+
+TEST(DifficultyTrackerTest, SecondWindowUsesNewStart) {
+  DifficultyTracker tracker(100.0, rule(10, 60));
+  for (int i = 1; i <= 10; ++i) tracker.on_block(i * 60.0);  // on schedule
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 100.0);
+  // Second window also on schedule relative to the first boundary.
+  for (int i = 11; i <= 20; ++i) tracker.on_block(i * 60.0);
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 100.0);
+}
+
+TEST(DifficultyTrackerTest, MiningPowerDropScenario) {
+  // Paper §5.2: power drops after a retarget ratcheted difficulty up; the
+  // next window takes (clamped) correspondingly longer.
+  DifficultyTracker tracker(100.0, rule(10, 60));
+  for (int i = 1; i <= 10; ++i) tracker.on_block(i * 15.0);  // 4x too fast
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 400.0);
+  // Power vanishes: blocks now take 10x the target.
+  Seconds t = 150.0;
+  for (int i = 0; i < 10; ++i) {
+    t += 600.0;
+    tracker.on_block(t);
+  }
+  EXPECT_DOUBLE_EQ(tracker.difficulty(), 100.0);  // recovered by /4 clamp
+}
+
+TEST(DifficultyTrackerTest, RejectsBadInitial) {
+  EXPECT_THROW(DifficultyTracker(0.0, rule(10, 60)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bng::chain

@@ -1,0 +1,102 @@
+#include "chain/mempool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bng::chain {
+namespace {
+
+TxPtr tx_with_tag(std::uint64_t tag, std::uint32_t padding = 0) {
+  Outpoint op;
+  op.txid.bytes[0] = static_cast<std::uint8_t>(tag);
+  op.vout = static_cast<std::uint32_t>(tag >> 8);
+  return make_transfer(op, 1000, address_from_tag(tag), 10, padding);
+}
+
+TEST(Mempool, SubmitAndContains) {
+  Mempool pool;
+  auto tx = tx_with_tag(1);
+  EXPECT_TRUE(pool.submit(tx));
+  EXPECT_TRUE(pool.contains(tx->id()));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, DuplicateSubmitRejected) {
+  Mempool pool;
+  auto tx = tx_with_tag(1);
+  EXPECT_TRUE(pool.submit(tx));
+  EXPECT_FALSE(pool.submit(tx));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(Mempool, AssembleRespectsByteBudget) {
+  Mempool pool;
+  std::size_t tx_size = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto tx = tx_with_tag(i);
+    tx_size = tx->wire_size();
+    pool.submit(tx);
+  }
+  auto batch = pool.assemble(3 * tx_size + 1);
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(Mempool, AssembleSkipsIncluded) {
+  Mempool pool;
+  std::vector<TxPtr> txs;
+  for (int i = 0; i < 5; ++i) {
+    txs.push_back(tx_with_tag(i));
+    pool.submit(txs.back());
+  }
+  pool.mark_included(txs[0]->id());
+  pool.mark_included(txs[2]->id());
+  auto batch = pool.assemble(1'000'000);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0]->id(), txs[1]->id());
+  EXPECT_EQ(batch[1]->id(), txs[3]->id());
+  EXPECT_EQ(batch[2]->id(), txs[4]->id());
+  EXPECT_EQ(pool.available(), 3u);
+}
+
+TEST(Mempool, ReorgReturnsTransactions) {
+  Mempool pool;
+  auto tx = tx_with_tag(1);
+  pool.submit(tx);
+  pool.mark_included(tx->id());
+  EXPECT_EQ(pool.available(), 0u);
+  pool.mark_excluded(tx->id());
+  EXPECT_EQ(pool.available(), 1u);
+  auto batch = pool.assemble(1'000'000);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0]->id(), tx->id());
+}
+
+TEST(Mempool, AssembleRespectsReserve) {
+  Mempool pool;
+  auto tx = tx_with_tag(1);
+  pool.submit(tx);
+  const std::size_t sz = tx->wire_size();
+  EXPECT_EQ(pool.assemble(sz + 100, 100).size(), 1u);
+  EXPECT_EQ(pool.assemble(sz + 100, 101).size(), 0u);
+  EXPECT_EQ(pool.assemble(50, 100).size(), 0u);  // reserve exceeds budget
+}
+
+TEST(Mempool, SubmissionOrderPreserved) {
+  Mempool pool;
+  std::vector<Hash256> expected;
+  for (int i = 0; i < 20; ++i) {
+    auto tx = tx_with_tag(i);
+    expected.push_back(tx->id());
+    pool.submit(tx);
+  }
+  auto batch = pool.assemble(1'000'000);
+  ASSERT_EQ(batch.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(batch[i]->id(), expected[i]);
+}
+
+TEST(Mempool, EmptyAssemble) {
+  Mempool pool;
+  EXPECT_TRUE(pool.assemble(1000).empty());
+}
+
+}  // namespace
+}  // namespace bng::chain

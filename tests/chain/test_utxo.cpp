@@ -1,0 +1,195 @@
+#include "chain/utxo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bng::chain {
+namespace {
+
+/// Build a block around given txs (structure only; PoW/merkle not checked by
+/// the Ledger).
+BlockPtr wrap_block(BlockType type, const Hash256& prev, std::vector<TxPtr> txs,
+                    Seconds ts = 1.0, std::uint32_t miner = 0) {
+  BlockHeader h;
+  h.type = type;
+  h.prev = prev;
+  h.timestamp = ts;
+  h.merkle_root = compute_merkle_root(txs);
+  if (type == BlockType::kKey)
+    h.leader_key = crypto::PrivateKey::from_seed(miner).public_key();
+  return std::make_shared<Block>(h, std::move(txs), miner);
+}
+
+TxPtr coinbase_paying(std::uint32_t height, Amount value, const Hash256& addr) {
+  auto tx = std::make_shared<Transaction>();
+  tx->coinbase_height = height;
+  tx->outputs.push_back(TxOutput{value, addr});
+  return tx;
+}
+
+TEST(UtxoSet, AddSpendFind) {
+  UtxoSet set;
+  Outpoint op;
+  op.txid.bytes[0] = 1;
+  set.add(op, UtxoEntry{TxOutput{100, address_from_tag(1)}, std::nullopt});
+  ASSERT_NE(set.find(op), nullptr);
+  EXPECT_EQ(set.find(op)->out.value, 100);
+  auto spent = set.spend(op);
+  ASSERT_TRUE(spent.has_value());
+  EXPECT_EQ(spent->out.value, 100);
+  EXPECT_EQ(set.find(op), nullptr);
+  EXPECT_FALSE(set.spend(op).has_value());
+}
+
+TEST(UtxoSet, BalanceByOwner) {
+  UtxoSet set;
+  auto addr = address_from_tag(7);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    Outpoint op;
+    op.txid.bytes[0] = i;
+    set.add(op, UtxoEntry{TxOutput{100, addr}, std::nullopt});
+  }
+  Outpoint other;
+  other.txid.bytes[0] = 99;
+  set.add(other, UtxoEntry{TxOutput{55, address_from_tag(8)}, std::nullopt});
+  EXPECT_EQ(set.balance(addr), 300);
+  EXPECT_EQ(set.balance(address_from_tag(8)), 55);
+  EXPECT_EQ(set.balance(address_from_tag(9)), 0);
+}
+
+TEST(UtxoSet, MaturityFiltersCoinbase) {
+  UtxoSet set;
+  auto addr = address_from_tag(7);
+  Outpoint op;
+  op.txid.bytes[0] = 1;
+  set.add(op, UtxoEntry{TxOutput{100, addr}, 10});  // coinbase at PoW height 10
+  EXPECT_EQ(set.balance(addr, 15, 100), 0);   // 10 + 100 > 15: immature
+  EXPECT_EQ(set.balance(addr, 110, 100), 100);
+  EXPECT_EQ(set.balance(addr), 100);  // no maturity filter
+}
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() : params_(Params::bitcoin_ng()), ledger_(params_) {
+    params_.coinbase_maturity = 2;  // keep tests small
+    ledger_ = Ledger(params_);
+    genesis_ = make_genesis(4, kCoin);
+    EXPECT_TRUE(ledger_.apply_block(*genesis_).ok);
+  }
+
+  Params params_;
+  Ledger ledger_;
+  BlockPtr genesis_;
+};
+
+TEST_F(LedgerTest, GenesisCreatesOutputs) {
+  EXPECT_EQ(ledger_.utxo().size(), 4u);
+  EXPECT_EQ(ledger_.total_balance(address_from_tag(0)), kCoin);
+}
+
+TEST_F(LedgerTest, SimpleTransfer) {
+  auto src = Outpoint{genesis_->txs()[0]->id(), 0};
+  // Maturity: genesis coinbase at PoW height... genesis counts as height 1.
+  // Mine filler blocks first so the coinbase matures.
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(),
+                       {coinbase_paying(2, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  auto b2 = wrap_block(BlockType::kKey, b1->id(),
+                       {coinbase_paying(3, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b2).ok);
+
+  auto tx = make_transfer(src, kCoin - 500, address_from_tag(77), 500);
+  auto micro = wrap_block(BlockType::kMicro, b2->id(), {tx});
+  auto result = ledger_.apply_block(*micro);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(ledger_.total_balance(address_from_tag(77)), kCoin - 500);
+  EXPECT_EQ(ledger_.total_balance(address_from_tag(0)), 0);
+}
+
+TEST_F(LedgerTest, DoubleSpendRejected) {
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(),
+                       {coinbase_paying(2, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  auto b2 = wrap_block(BlockType::kKey, b1->id(),
+                       {coinbase_paying(3, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b2).ok);
+
+  auto src = Outpoint{genesis_->txs()[0]->id(), 0};
+  auto tx1 = make_transfer(src, kCoin - 500, address_from_tag(77), 500);
+  auto tx2 = make_transfer(src, kCoin - 600, address_from_tag(78), 600);
+  auto micro = wrap_block(BlockType::kMicro, b2->id(), {tx1, tx2});
+  auto result = ledger_.apply_block(*micro);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("double"), std::string::npos);
+}
+
+TEST_F(LedgerTest, ValueConservationEnforced) {
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(),
+                       {coinbase_paying(2, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  auto b2 = wrap_block(BlockType::kKey, b1->id(),
+                       {coinbase_paying(3, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b2).ok);
+
+  auto src = Outpoint{genesis_->txs()[0]->id(), 0};
+  auto bad = make_transfer(src, kCoin, address_from_tag(77), 500);  // creates money
+  auto micro = wrap_block(BlockType::kMicro, b2->id(), {bad});
+  EXPECT_FALSE(ledger_.apply_block(*micro).ok);
+}
+
+TEST_F(LedgerTest, ImmatureCoinbaseCannotBeSpent) {
+  auto cb = coinbase_paying(2, params_.block_subsidy, address_from_tag(50));
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(), {cb});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  // Spend the fresh coinbase immediately: must fail (maturity = 2).
+  auto spend = make_transfer(Outpoint{cb->id(), 0}, params_.block_subsidy - 10,
+                             address_from_tag(60), 10);
+  auto micro = wrap_block(BlockType::kMicro, b1->id(), {spend});
+  auto result = ledger_.apply_block(*micro);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("immature"), std::string::npos);
+}
+
+TEST_F(LedgerTest, SpendableVsTotalBalance) {
+  auto cb = coinbase_paying(2, params_.block_subsidy, address_from_tag(50));
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(), {cb});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  EXPECT_EQ(ledger_.total_balance(address_from_tag(50)), params_.block_subsidy);
+  EXPECT_EQ(ledger_.spendable_balance(address_from_tag(50)), 0);
+}
+
+TEST_F(LedgerTest, MissingInputRejected) {
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(),
+                       {coinbase_paying(2, params_.block_subsidy, address_from_tag(50))});
+  ASSERT_TRUE(ledger_.apply_block(*b1).ok);
+  Outpoint bogus;
+  bogus.txid.bytes[0] = 0xff;
+  auto tx = make_transfer(bogus, 100, address_from_tag(1), 1);
+  auto micro = wrap_block(BlockType::kMicro, b1->id(), {tx});
+  EXPECT_FALSE(ledger_.apply_block(*micro).ok);
+}
+
+TEST_F(LedgerTest, CoinbaseCeilingEnforcedForPowBlocks) {
+  auto greedy = coinbase_paying(2, params_.block_subsidy + 1, address_from_tag(50));
+  auto b1 = wrap_block(BlockType::kPow, genesis_->id(), {greedy});
+  EXPECT_FALSE(ledger_.apply_block(*b1).ok);
+}
+
+TEST_F(LedgerTest, MultipleCoinbasesRejected) {
+  auto cb1 = coinbase_paying(2, 10, address_from_tag(50));
+  auto cb2 = coinbase_paying(2, 10, address_from_tag(51));
+  auto b1 = wrap_block(BlockType::kKey, genesis_->id(), {cb1, cb2});
+  EXPECT_FALSE(ledger_.apply_block(*b1).ok);
+}
+
+TEST_F(LedgerTest, CoinbaseInMicroblockRejected) {
+  auto cb = coinbase_paying(2, 10, address_from_tag(50));
+  auto micro = wrap_block(BlockType::kMicro, genesis_->id(), {cb});
+  EXPECT_FALSE(ledger_.apply_block(*micro).ok);
+}
+
+TEST_F(LedgerTest, TransactionCounterAdvances) {
+  EXPECT_EQ(ledger_.transactions_applied(), 1u);  // genesis coinbase
+}
+
+}  // namespace
+}  // namespace bng::chain

@@ -1,0 +1,183 @@
+#include "chain/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+
+namespace bng::chain {
+namespace {
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  ValidationTest() : params_(Params::bitcoin_ng()), sk_(crypto::PrivateKey::from_seed(1)) {}
+
+  TxPtr payload_tx(std::uint8_t tag) {
+    Outpoint op;
+    op.txid.bytes[0] = tag;
+    return make_transfer(op, 1000, address_from_tag(tag), 10);
+  }
+
+  TxPtr coinbase_tx() {
+    auto tx = std::make_shared<Transaction>();
+    tx->coinbase_height = 1;
+    tx->outputs.push_back(TxOutput{25 * kCoin, address_from_tag(0)});
+    return tx;
+  }
+
+  BlockPtr micro_block(Seconds ts, bool sign = true, std::vector<TxPtr> txs = {}) {
+    if (txs.empty()) txs = {payload_tx(1)};
+    BlockHeader h;
+    h.type = BlockType::kMicro;
+    h.prev = Hash256{};
+    h.timestamp = ts;
+    h.merkle_root = compute_merkle_root(txs);
+    if (sign) h.signature = crypto::sign(sk_, h.signing_hash());
+    return std::make_shared<Block>(h, txs, 0);
+  }
+
+  BlockPtr key_block(std::vector<TxPtr> txs) {
+    BlockHeader h;
+    h.type = BlockType::kKey;
+    h.prev = Hash256{};
+    h.timestamp = 1.0;
+    h.merkle_root = compute_merkle_root(txs);
+    h.leader_key = sk_.public_key();
+    return std::make_shared<Block>(h, std::move(txs), 0);
+  }
+
+  Params params_;
+  crypto::PrivateKey sk_;
+};
+
+TEST_F(ValidationTest, ValidMicroblockPasses) {
+  auto block = micro_block(5.0);
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_F(ValidationTest, FutureTimestampRejected) {
+  auto block = micro_block(10.0);
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("future"), std::string::npos);
+}
+
+TEST_F(ValidationTest, TooFrequentMicroblockRejected) {
+  params_.min_microblock_interval = 2.0;
+  auto block = micro_block(5.0);
+  // Predecessor at 4.0: gap 1.0 < 2.0.
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("soon"), std::string::npos);
+}
+
+TEST_F(ValidationTest, MinIntervalBoundaryAccepted) {
+  params_.min_microblock_interval = 1.0;
+  auto block = micro_block(5.0);
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_F(ValidationTest, UnsignedMicroblockRejected) {
+  auto block = micro_block(5.0, /*sign=*/false);
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(ValidationTest, WrongKeySignatureRejected) {
+  auto block = micro_block(5.0);
+  auto other = crypto::PrivateKey::from_seed(2).public_key();
+  auto r = check_microblock(*block, other, 4.0, 6.0, params_, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("signature"), std::string::npos);
+}
+
+TEST_F(ValidationTest, SignatureSkippedWhenDisabled) {
+  // The paper's artifact skipped signature checks; the flag must allow that.
+  auto block = micro_block(5.0);
+  auto other = crypto::PrivateKey::from_seed(2).public_key();
+  auto r = check_microblock(*block, other, 4.0, 6.0, params_, false);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST_F(ValidationTest, MicroblockWithCoinbaseRejected) {
+  auto block = micro_block(5.0, true, {coinbase_tx()});
+  auto r = check_microblock(*block, sk_.public_key(), 4.0, 6.0, params_, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("coinbase"), std::string::npos);
+}
+
+TEST_F(ValidationTest, ValidKeyBlockPasses) {
+  auto block = key_block({coinbase_tx()});
+  EXPECT_TRUE(check_key_block(*block).ok);
+}
+
+TEST_F(ValidationTest, KeyBlockWithoutLeaderKeyRejected) {
+  std::vector<TxPtr> txs{coinbase_tx()};
+  BlockHeader h;
+  h.type = BlockType::kKey;
+  h.merkle_root = compute_merkle_root(txs);
+  auto block = std::make_shared<Block>(h, txs, 0);
+  EXPECT_FALSE(check_key_block(*block).ok);
+}
+
+TEST_F(ValidationTest, KeyBlockWithoutCoinbaseRejected) {
+  auto block = key_block({payload_tx(1)});
+  EXPECT_FALSE(check_key_block(*block).ok);
+}
+
+TEST_F(ValidationTest, SizeLimitsPerBlockType) {
+  params_.max_microblock_size = 200;
+  auto big = micro_block(5.0, true, {payload_tx(1), payload_tx(2), payload_tx(3)});
+  EXPECT_FALSE(check_size(*big, params_).ok);
+  params_.max_microblock_size = 1'000'000;
+  EXPECT_TRUE(check_size(*big, params_).ok);
+}
+
+TEST_F(ValidationTest, MerkleMismatchCaught) {
+  auto txs = std::vector<TxPtr>{payload_tx(1)};
+  BlockHeader h;
+  h.type = BlockType::kPow;
+  h.merkle_root = compute_merkle_root(txs);
+  txs.push_back(payload_tx(2));  // content no longer matches the root
+  auto block = std::make_shared<Block>(h, txs, 0);
+  EXPECT_FALSE(check_merkle(*block).ok);
+}
+
+TEST_F(ValidationTest, PowCheckRespectsTarget) {
+  std::vector<TxPtr> txs{coinbase_tx()};
+  BlockHeader h;
+  h.type = BlockType::kPow;
+  h.merkle_root = compute_merkle_root(txs);
+  // Maximal target: any hash qualifies.
+  h.target = crypto::U256(UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX);
+  EXPECT_TRUE(check_pow(h).ok);
+  // Minimal non-zero target: essentially impossible.
+  h.target = crypto::U256(1);
+  EXPECT_FALSE(check_pow(h).ok);
+  // Zero target is invalid outright.
+  h.target = crypto::U256(0);
+  EXPECT_FALSE(check_pow(h).ok);
+}
+
+TEST_F(ValidationTest, PowCheckRejectsMicroblocks) {
+  auto block = micro_block(5.0);
+  EXPECT_FALSE(check_pow(block->header()).ok);
+}
+
+TEST_F(ValidationTest, BitcoinBlockStructure) {
+  std::vector<TxPtr> txs{coinbase_tx(), payload_tx(1)};
+  BlockHeader h;
+  h.type = BlockType::kPow;
+  h.merkle_root = compute_merkle_root(txs);
+  auto ok_block = std::make_shared<Block>(h, txs, 0);
+  EXPECT_TRUE(check_pow_block(*ok_block).ok);
+
+  // Leader key on a Bitcoin block is malformed.
+  h.leader_key = sk_.public_key();
+  auto bad = std::make_shared<Block>(h, txs, 0);
+  EXPECT_FALSE(check_pow_block(*bad).ok);
+}
+
+}  // namespace
+}  // namespace bng::chain

@@ -1,0 +1,89 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bng {
+namespace {
+
+TEST(ByteWriter, LittleEndianIntegers) {
+  ByteWriter w;
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w.data()[0], 0x02);
+  EXPECT_EQ(w.data()[1], 0x01);
+  EXPECT_EQ(w.data()[2], 0x06);
+  EXPECT_EQ(w.data()[5], 0x03);
+}
+
+TEST(ByteRoundTrip, AllWidths) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(3.14159);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Varint, EncodingSizes) {
+  auto encoded_size = [](std::uint64_t v) {
+    ByteWriter w;
+    w.varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(0xfc), 1u);
+  EXPECT_EQ(encoded_size(0xfd), 3u);
+  EXPECT_EQ(encoded_size(0xffff), 3u);
+  EXPECT_EQ(encoded_size(0x10000), 5u);
+  EXPECT_EQ(encoded_size(0xffffffff), 5u);
+  EXPECT_EQ(encoded_size(0x100000000ull), 9u);
+}
+
+TEST(Varint, RoundTripBoundaries) {
+  for (std::uint64_t v : {0ull, 1ull, 0xfcull, 0xfdull, 0xfeull, 0xffffull, 0x10000ull,
+                          0xffffffffull, 0x100000000ull, 0xffffffffffffffffull}) {
+    ByteWriter w;
+    w.varint(v);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.varint(), v);
+  }
+}
+
+TEST(ByteReader, ReadPastEndThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(ByteReader, Remaining) {
+  ByteWriter w;
+  w.u64(1);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(ByteWriter, BytesSpanAppends) {
+  ByteWriter w;
+  std::vector<std::uint8_t> payload{1, 2, 3};
+  w.bytes(payload);
+  w.bytes(payload);
+  EXPECT_EQ(w.size(), 6u);
+  ByteReader r(w.data());
+  auto taken = r.take(6);
+  EXPECT_EQ(taken[3], 1);
+}
+
+}  // namespace
+}  // namespace bng

@@ -1,0 +1,67 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace bng {
+namespace {
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), ""); }
+
+TEST(Hex, EncodeBytes) {
+  std::vector<std::uint8_t> data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(Hex, DecodeRoundTrip) {
+  std::vector<std::uint8_t> data{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, DecodeUppercase) {
+  EXPECT_EQ(from_hex("ABCD"), (std::vector<std::uint8_t>{0xab, 0xcd}));
+}
+
+TEST(Hex, DecodeOddLengthThrows) { EXPECT_THROW(from_hex("abc"), std::invalid_argument); }
+
+TEST(Hex, DecodeBadCharThrows) { EXPECT_THROW(from_hex("zz"), std::invalid_argument); }
+
+TEST(Hash256Test, DefaultIsZero) {
+  Hash256 h;
+  EXPECT_TRUE(h.is_zero());
+}
+
+TEST(Hash256Test, NonZeroDetected) {
+  Hash256 h;
+  h.bytes[31] = 1;
+  EXPECT_FALSE(h.is_zero());
+}
+
+TEST(Hash256Test, HexRoundTrip) {
+  Hash256 h;
+  for (std::size_t i = 0; i < 32; ++i) h.bytes[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  EXPECT_EQ(Hash256::from_hex(h.to_hex()), h);
+}
+
+TEST(Hash256Test, FromHexWrongLengthThrows) {
+  EXPECT_THROW(Hash256::from_hex("abcd"), std::invalid_argument);
+}
+
+TEST(Hash256Test, OrderingIsLexicographic) {
+  Hash256 a, b;
+  b.bytes[0] = 1;
+  EXPECT_LT(a, b);
+  a.bytes[0] = 2;
+  EXPECT_GT(a, b);
+}
+
+TEST(Hash256Test, HasherDistinguishes) {
+  Hash256 a, b;
+  b.bytes[31] = 1;
+  Hash256Hasher hasher;
+  EXPECT_NE(hasher(a), hasher(b));
+}
+
+}  // namespace
+}  // namespace bng

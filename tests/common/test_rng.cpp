@@ -1,0 +1,140 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace bng {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  for (double mean : {0.5, 10.0, 600.0}) {
+    double sum = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / n, mean, mean * 0.02);
+  }
+}
+
+TEST(Rng, ExponentialIsMemoryless) {
+  // P(X > a+b | X > a) == P(X > b): compare tail counts.
+  Rng rng(23);
+  const double mean = 1.0;
+  int beyond_1 = 0, beyond_2_given_1 = 0;
+  const int n = 300'000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.exponential(mean);
+    if (x > 1.0) {
+      ++beyond_1;
+      if (x > 2.0) ++beyond_2_given_1;
+    }
+  }
+  const double p_tail = static_cast<double>(beyond_2_given_1) / beyond_1;
+  EXPECT_NEAR(p_tail, std::exp(-1.0), 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(29);
+  const int n = 200'000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double m = sum / n;
+  double var = sq / n - m * m;
+  EXPECT_NEAR(m, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // P(identity) = 1/100! ~ 0
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99);
+  Rng fork1 = a.fork(1);
+  Rng fork1_again = Rng(99).fork(1);
+  Rng fork2 = a.fork(2);
+  EXPECT_EQ(fork1.next(), fork1_again.next());
+  EXPECT_NE(fork1.next(), fork2.next());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bng

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ecdsa.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace bng::crypto {
+namespace {
+
+TEST(FieldSqrt, SquareRootsOfSquares) {
+  bng::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    U256 square = fe_sqr(a);
+    auto root = fe_sqrt(square);
+    ASSERT_TRUE(root.has_value());
+    // The root is a or -a.
+    EXPECT_TRUE(*root == a || *root == fe_neg(a));
+  }
+}
+
+TEST(FieldSqrt, ZeroHasRootZero) {
+  auto root = fe_sqrt(U256(0));
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_zero());
+}
+
+TEST(FieldSqrt, NonResidueRejected) {
+  // Exactly one of {a, -a} is a residue for a != 0 (p ≡ 3 mod 4).
+  bng::Rng rng(2);
+  int rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    U256 a = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    if (a.is_zero()) continue;
+    bool a_root = fe_sqrt(a).has_value();
+    bool na_root = fe_sqrt(fe_neg(a)).has_value();
+    EXPECT_NE(a_root, na_root);
+    rejected += a_root ? 0 : 1;
+  }
+  EXPECT_GT(rejected, 0);  // some non-residues encountered
+}
+
+TEST(LiftX, RecoversGenerator) {
+  auto even = lift_x(generator().x, generator().y.is_odd());
+  ASSERT_TRUE(even.has_value());
+  EXPECT_EQ(*even, generator());
+}
+
+TEST(LiftX, ParitySelectsBranch) {
+  auto odd = lift_x(generator().x, true);
+  auto even = lift_x(generator().x, false);
+  ASSERT_TRUE(odd && even);
+  EXPECT_TRUE(odd->y.is_odd());
+  EXPECT_FALSE(even->y.is_odd());
+  EXPECT_EQ(odd->y, fe_neg(even->y));
+  EXPECT_TRUE(odd->valid());
+  EXPECT_TRUE(even->valid());
+}
+
+TEST(LiftX, OffCurveXRejected) {
+  // x = 5 is famously not on secp256k1... verify whichever way it falls by
+  // scanning a few small x and requiring consistency with point validity.
+  int on = 0, off = 0;
+  for (std::uint64_t x = 1; x <= 20; ++x) {
+    auto p = lift_x(U256(x), false);
+    if (p) {
+      EXPECT_TRUE(p->valid());
+      ++on;
+    } else {
+      ++off;
+    }
+  }
+  EXPECT_GT(on, 0);
+  EXPECT_GT(off, 0);  // roughly half of all x are off-curve
+}
+
+TEST(LiftX, OutOfRangeXRejected) {
+  EXPECT_FALSE(lift_x(field_p(), false).has_value());
+}
+
+TEST(CompressedKeys, RoundTripManyKeys) {
+  bng::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    auto sk = PrivateKey::generate(rng);
+    auto pk = sk.public_key();
+    auto compressed = pk.serialize_compressed();
+    EXPECT_TRUE(compressed[0] == 0x02 || compressed[0] == 0x03);
+    auto restored = PublicKey::deserialize_compressed(compressed);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, pk);
+  }
+}
+
+TEST(CompressedKeys, PrefixEncodesParity) {
+  bng::Rng rng(4);
+  auto sk = PrivateKey::generate(rng);
+  auto pk = sk.public_key();
+  auto compressed = pk.serialize_compressed();
+  EXPECT_EQ(compressed[0], pk.point.y.is_odd() ? 0x03 : 0x02);
+}
+
+TEST(CompressedKeys, BadPrefixRejected) {
+  bng::Rng rng(5);
+  auto compressed = PrivateKey::generate(rng).public_key().serialize_compressed();
+  compressed[0] = 0x04;
+  EXPECT_FALSE(PublicKey::deserialize_compressed(compressed).has_value());
+}
+
+TEST(CompressedKeys, WrongLengthRejected) {
+  std::vector<std::uint8_t> short_key(32, 0x02);
+  EXPECT_FALSE(PublicKey::deserialize_compressed(short_key).has_value());
+}
+
+TEST(CompressedKeys, SignatureVerifiesAfterCompression) {
+  // A signature must verify against a key that went through the compressed
+  // wire encoding (the NG key block could ship compressed keys).
+  bng::Rng rng(6);
+  auto sk = PrivateKey::generate(rng);
+  Hash256 msg;
+  msg.bytes[0] = 0x99;
+  auto sig = sign(sk, msg);
+  auto restored =
+      PublicKey::deserialize_compressed(sk.public_key().serialize_compressed());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(verify(*restored, msg, sig));
+}
+
+}  // namespace
+}  // namespace bng::crypto

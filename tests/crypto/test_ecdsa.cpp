@@ -1,0 +1,148 @@
+#include "crypto/ecdsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace bng::crypto {
+namespace {
+
+class EcdsaTest : public ::testing::Test {
+ protected:
+  bng::Rng rng_{424242};
+};
+
+TEST_F(EcdsaTest, SignVerifyRoundTrip) {
+  auto sk = PrivateKey::generate(rng_);
+  auto pk = sk.public_key();
+  auto msg = sha256("pay alice 5 coins");
+  auto sig = sign(sk, msg);
+  EXPECT_TRUE(verify(pk, msg, sig));
+}
+
+TEST_F(EcdsaTest, TamperedMessageRejected) {
+  auto sk = PrivateKey::generate(rng_);
+  auto sig = sign(sk, sha256("original"));
+  EXPECT_FALSE(verify(sk.public_key(), sha256("tampered"), sig));
+}
+
+TEST_F(EcdsaTest, WrongKeyRejected) {
+  auto sk1 = PrivateKey::generate(rng_);
+  auto sk2 = PrivateKey::generate(rng_);
+  auto msg = sha256("message");
+  EXPECT_FALSE(verify(sk2.public_key(), msg, sign(sk1, msg)));
+}
+
+TEST_F(EcdsaTest, TamperedSignatureRejected) {
+  auto sk = PrivateKey::generate(rng_);
+  auto msg = sha256("message");
+  auto sig = sign(sk, msg);
+  Signature bad = sig;
+  bad.r = sc_add(bad.r, U256(1));
+  EXPECT_FALSE(verify(sk.public_key(), msg, bad));
+  bad = sig;
+  bad.s = sc_add(bad.s, U256(1));
+  EXPECT_FALSE(verify(sk.public_key(), msg, bad));
+}
+
+TEST_F(EcdsaTest, DeterministicNonceGivesStableSignature) {
+  auto sk = PrivateKey::generate(rng_);
+  auto msg = sha256("stable");
+  EXPECT_EQ(sign(sk, msg), sign(sk, msg));
+}
+
+TEST_F(EcdsaTest, DifferentMessagesGiveDifferentNonces) {
+  // Identical r across two messages would leak the private key.
+  auto sk = PrivateKey::generate(rng_);
+  auto s1 = sign(sk, sha256("one"));
+  auto s2 = sign(sk, sha256("two"));
+  EXPECT_NE(s1.r, s2.r);
+}
+
+TEST_F(EcdsaTest, LowSNormalization) {
+  bool borrow;
+  U256 half = U256::sub(order_n(), U256(1), borrow).shr(1);
+  for (int i = 0; i < 8; ++i) {
+    auto sk = PrivateKey::generate(rng_);
+    auto sig = sign(sk, sha256(std::string("msg") + std::to_string(i)));
+    EXPECT_LE(sig.s, half);
+  }
+}
+
+TEST_F(EcdsaTest, ZeroSignatureComponentsRejected) {
+  auto sk = PrivateKey::generate(rng_);
+  auto msg = sha256("x");
+  EXPECT_FALSE(verify(sk.public_key(), msg, Signature{U256(0), U256(1)}));
+  EXPECT_FALSE(verify(sk.public_key(), msg, Signature{U256(1), U256(0)}));
+}
+
+TEST_F(EcdsaTest, OutOfRangeComponentsRejected) {
+  auto sk = PrivateKey::generate(rng_);
+  auto msg = sha256("x");
+  EXPECT_FALSE(verify(sk.public_key(), msg, Signature{order_n(), U256(1)}));
+}
+
+TEST_F(EcdsaTest, PublicKeySerializationRoundTrip) {
+  auto sk = PrivateKey::generate(rng_);
+  auto pk = sk.public_key();
+  auto ser = pk.serialize();
+  auto back = PublicKey::deserialize(ser);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, pk);
+}
+
+TEST_F(EcdsaTest, CorruptPublicKeyRejected) {
+  auto sk = PrivateKey::generate(rng_);
+  auto ser = sk.public_key().serialize();
+  ser[10] ^= 0xff;  // point no longer on curve (overwhelmingly likely)
+  EXPECT_FALSE(PublicKey::deserialize(ser).has_value());
+}
+
+TEST_F(EcdsaTest, WrongLengthPublicKeyRejected) {
+  std::vector<std::uint8_t> short_key(63, 0);
+  EXPECT_FALSE(PublicKey::deserialize(short_key).has_value());
+}
+
+TEST_F(EcdsaTest, SignatureSerializationRoundTrip) {
+  auto sk = PrivateKey::generate(rng_);
+  auto sig = sign(sk, sha256("serialize me"));
+  auto back = Signature::deserialize(sig.serialize());
+  EXPECT_EQ(back, sig);
+}
+
+TEST_F(EcdsaTest, FromSeedIsDeterministic) {
+  auto a = PrivateKey::from_seed(1234);
+  auto b = PrivateKey::from_seed(1234);
+  auto c = PrivateKey::from_seed(1235);
+  EXPECT_EQ(a.secret, b.secret);
+  EXPECT_NE(a.secret, c.secret);
+}
+
+TEST_F(EcdsaTest, GeneratedKeyInRange) {
+  for (int i = 0; i < 10; ++i) {
+    auto sk = PrivateKey::generate(rng_);
+    EXPECT_FALSE(sk.secret.is_zero());
+    EXPECT_LT(sk.secret, order_n());
+    EXPECT_TRUE(sk.public_key().valid());
+  }
+}
+
+// Property sweep: roundtrip across many keys and messages.
+class EcdsaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EcdsaPropertyTest, SignVerifyAcrossKeys) {
+  bng::Rng rng(1000 + GetParam());
+  auto sk = PrivateKey::generate(rng);
+  auto pk = sk.public_key();
+  auto msg = sha256(std::string("message-") + std::to_string(GetParam()));
+  auto sig = sign(sk, msg);
+  EXPECT_TRUE(verify(pk, msg, sig));
+  // Cross-verify must fail against a different message.
+  auto other = sha256(std::string("other-") + std::to_string(GetParam()));
+  EXPECT_FALSE(verify(pk, other, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(ManyKeys, EcdsaPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace bng::crypto

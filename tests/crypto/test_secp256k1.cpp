@@ -1,0 +1,194 @@
+#include "crypto/secp256k1.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bng::crypto {
+namespace {
+
+U256 random_scalar(bng::Rng& rng) {
+  return sc_reduce(U256(rng.next(), rng.next(), rng.next(), rng.next()));
+}
+
+TEST(Secp256k1Field, Constants) {
+  EXPECT_EQ(field_p().to_hex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  EXPECT_EQ(order_n().to_hex(),
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+}
+
+TEST(Secp256k1Field, AddWrapsModP) {
+  bool borrow;
+  U256 pm1 = U256::sub(field_p(), U256(1), borrow);
+  EXPECT_EQ(fe_add(pm1, U256(1)), U256(0));
+  EXPECT_EQ(fe_add(pm1, U256(2)), U256(1));
+}
+
+TEST(Secp256k1Field, SubWrapsModP) {
+  bool borrow;
+  U256 pm1 = U256::sub(field_p(), U256(1), borrow);
+  EXPECT_EQ(fe_sub(U256(0), U256(1)), pm1);
+}
+
+TEST(Secp256k1Field, NegationIdentity) {
+  bng::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    EXPECT_EQ(fe_add(a, fe_neg(a)), U256(0));
+  }
+  EXPECT_EQ(fe_neg(U256(0)), U256(0));
+}
+
+TEST(Secp256k1Field, MulAgainstGenericMod) {
+  bng::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    U256 b = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    EXPECT_EQ(fe_mul(a, b), U256::mul_wide(a, b).mod(field_p()));
+  }
+}
+
+TEST(Secp256k1Field, MulEdgeValuesNearP) {
+  bool borrow;
+  U256 pm1 = U256::sub(field_p(), U256(1), borrow);
+  // (p-1)^2 mod p == 1
+  EXPECT_EQ(fe_mul(pm1, pm1), U256(1));
+  EXPECT_EQ(fe_mul(pm1, U256(1)), pm1);
+  EXPECT_EQ(fe_mul(U256(0), pm1), U256(0));
+}
+
+TEST(Secp256k1Field, InverseIdentity) {
+  bng::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = U512::from_u256(U256(rng.next(), rng.next(), rng.next(), rng.next()))
+                 .mod(field_p());
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fe_mul(a, fe_inv(a)), U256(1));
+  }
+}
+
+TEST(Secp256k1Field, FermatLittleTheorem) {
+  // a^(p-1) == 1 for a != 0.
+  bool borrow;
+  U256 pm1 = U256::sub(field_p(), U256(1), borrow);
+  EXPECT_EQ(fe_pow(U256(2), pm1), U256(1));
+  EXPECT_EQ(fe_pow(U256(12345), pm1), U256(1));
+}
+
+TEST(Secp256k1Scalar, InverseIdentity) {
+  bng::Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    U256 a = random_scalar(rng);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(sc_mul(a, sc_inv(a)), U256(1));
+  }
+}
+
+TEST(Secp256k1Scalar, AddWrapsModN) {
+  bool borrow;
+  U256 nm1 = U256::sub(order_n(), U256(1), borrow);
+  EXPECT_EQ(sc_add(nm1, U256(1)), U256(0));
+  EXPECT_EQ(sc_add(nm1, nm1), U256::sub(order_n(), U256(2), borrow));
+}
+
+TEST(Secp256k1Scalar, NegIdentity) {
+  bng::Rng rng(13);
+  U256 a = random_scalar(rng);
+  EXPECT_EQ(sc_add(a, sc_neg(a)), U256(0));
+}
+
+TEST(Secp256k1Curve, GeneratorOnCurve) {
+  EXPECT_TRUE(generator().valid());
+  EXPECT_FALSE(generator().infinity);
+}
+
+TEST(Secp256k1Curve, KnownDoubleOfG) {
+  AffinePoint g2 = point_double(JacobianPoint::from_affine(generator())).to_affine();
+  EXPECT_EQ(g2.x.to_hex(), "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_TRUE(g2.valid());
+  // y is pinned against this implementation (cross-validated by the on-curve
+  // check above, n*G = infinity, and add/double agreement below) to catch
+  // regressions in the field arithmetic.
+  EXPECT_EQ(g2.y.to_hex(), "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1Curve, AdditionMatchesDoubling) {
+  JacobianPoint g = JacobianPoint::from_affine(generator());
+  AffinePoint via_add = point_add(g, g).to_affine();
+  AffinePoint via_double = point_double(g).to_affine();
+  EXPECT_EQ(via_add, via_double);
+}
+
+TEST(Secp256k1Curve, ScalarMulSmallMultiples) {
+  // k*G computed by repeated addition must match scalar_mul.
+  JacobianPoint acc = JacobianPoint::infinity();
+  for (std::uint64_t k = 1; k <= 8; ++k) {
+    acc = point_add_affine(acc, generator());
+    AffinePoint expect = acc.to_affine();
+    AffinePoint got = scalar_mul(U256(k), generator()).to_affine();
+    EXPECT_EQ(got, expect) << "k=" << k;
+    EXPECT_TRUE(got.valid());
+  }
+}
+
+TEST(Secp256k1Curve, OrderTimesGIsInfinity) {
+  EXPECT_TRUE(scalar_mul(order_n(), generator()).is_infinity());
+}
+
+TEST(Secp256k1Curve, NMinus1TimesGIsMinusG) {
+  bool borrow;
+  U256 nm1 = U256::sub(order_n(), U256(1), borrow);
+  AffinePoint p = scalar_mul(nm1, generator()).to_affine();
+  EXPECT_EQ(p.x, generator().x);
+  EXPECT_EQ(p.y, fe_neg(generator().y));
+}
+
+TEST(Secp256k1Curve, AddInverseGivesInfinity) {
+  AffinePoint g = generator();
+  AffinePoint neg_g{g.x, fe_neg(g.y), false};
+  JacobianPoint sum = point_add_affine(JacobianPoint::from_affine(g), neg_g);
+  EXPECT_TRUE(sum.is_infinity());
+}
+
+TEST(Secp256k1Curve, ScalarMulDistributes) {
+  // (a+b)G == aG + bG
+  bng::Rng rng(17);
+  U256 a = random_scalar(rng), b = random_scalar(rng);
+  AffinePoint lhs = scalar_mul(sc_add(a, b), generator()).to_affine();
+  AffinePoint rhs =
+      point_add(scalar_mul(a, generator()), scalar_mul(b, generator())).to_affine();
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Secp256k1Curve, DoubleScalarMulMatchesSeparate) {
+  bng::Rng rng(19);
+  U256 u1 = random_scalar(rng), u2 = random_scalar(rng), k = random_scalar(rng);
+  AffinePoint q = scalar_mul(k, generator()).to_affine();
+  AffinePoint lhs = double_scalar_mul(u1, u2, q).to_affine();
+  AffinePoint rhs = point_add(scalar_mul(u1, generator()), scalar_mul(u2, q)).to_affine();
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Secp256k1Curve, InfinityIsAdditiveIdentity) {
+  JacobianPoint inf = JacobianPoint::infinity();
+  JacobianPoint g = JacobianPoint::from_affine(generator());
+  EXPECT_EQ(point_add(inf, g).to_affine(), generator());
+  EXPECT_EQ(point_add(g, inf).to_affine(), generator());
+  EXPECT_TRUE(point_double(inf).is_infinity());
+}
+
+TEST(Secp256k1Curve, InvalidPointDetected) {
+  AffinePoint bogus{U256(1), U256(1), false};
+  EXPECT_FALSE(bogus.valid());
+}
+
+TEST(Secp256k1Curve, ZeroScalarGivesInfinity) {
+  EXPECT_TRUE(scalar_mul(U256(0), generator()).is_infinity());
+}
+
+}  // namespace
+}  // namespace bng::crypto

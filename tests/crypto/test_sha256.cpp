@@ -1,0 +1,82 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bng::crypto {
+namespace {
+
+// FIPS 180-4 / NIST known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256("").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256("abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog multiple times";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edges must all be consistent
+  // between incremental and one-shot paths.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 h;
+    for (char c : msg) h.update(std::string(1, c));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256("a"), sha256("b"));
+  EXPECT_NE(sha256("abc"), sha256("abd"));
+  EXPECT_NE(sha256(""), sha256(std::string(1, '\0')));
+}
+
+TEST(Sha256d, DoubleHashDiffersFromSingle) {
+  std::vector<std::uint8_t> data{1, 2, 3};
+  Hash256 once = sha256(data);
+  Hash256 twice = sha256d(data);
+  EXPECT_NE(once, twice);
+  EXPECT_EQ(twice, sha256(std::span<const std::uint8_t>(once.bytes.data(), 32)));
+}
+
+TEST(Sha256, AvalancheEffect) {
+  // Flipping one input bit should flip roughly half the output bits.
+  std::vector<std::uint8_t> a(32, 0x5c), b = a;
+  b[0] ^= 0x01;
+  Hash256 ha = sha256(a), hb = sha256(b);
+  int diff_bits = 0;
+  for (int i = 0; i < 32; ++i) diff_bits += __builtin_popcount(ha.bytes[i] ^ hb.bytes[i]);
+  EXPECT_GT(diff_bits, 80);
+  EXPECT_LT(diff_bits, 176);
+}
+
+}  // namespace
+}  // namespace bng::crypto

@@ -1,0 +1,119 @@
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bng::net {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInUsesRelativeTime) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(10.0, [&] {
+    q.schedule_in(5.0, [&] { fired_at = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(10.0, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule_at(5.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(2.0, [&] { ++fired; });
+  q.schedule_at(3.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly t_end run
+  EXPECT_EQ(q.now(), 2.0);
+  q.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), 10.0);  // advances to t_end even when idle
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  q.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueue, ExecutedCounter) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule_at(i, [] {});
+  q.run_all();
+  EXPECT_EQ(q.events_executed(), 5u);
+}
+
+TEST(EventQueue, RunUntilDoesNotRegressTime) {
+  EventQueue q;
+  q.run_until(50.0);
+  EXPECT_EQ(q.now(), 50.0);
+  q.run_until(10.0);  // earlier bound: nothing happens, time keeps its value
+  EXPECT_EQ(q.now(), 50.0);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  double last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule_at(t, [&, t] {
+      if (t < last) monotonic = false;
+      last = t;
+    });
+  }
+  q.run_all();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace bng::net

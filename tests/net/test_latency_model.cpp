@@ -1,0 +1,76 @@
+#include "net/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace bng::net {
+namespace {
+
+TEST(LatencyModel, ConstantAlwaysSame) {
+  auto model = LatencyModel::constant(0.05);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(model.sample(rng), 0.05);
+  EXPECT_DOUBLE_EQ(model.mean(), 0.05);
+}
+
+TEST(LatencyModel, SamplesWithinBucketRanges) {
+  auto model = LatencyModel::default_internet();
+  Rng rng(2);
+  const auto& buckets = model.buckets();
+  const double lo = buckets.front().lo;
+  const double hi = buckets.back().hi;
+  for (int i = 0; i < 10000; ++i) {
+    double s = model.sample(rng);
+    EXPECT_GE(s, lo);
+    EXPECT_LT(s, hi);
+  }
+}
+
+TEST(LatencyModel, EmpiricalMeanMatchesAnalytic) {
+  auto model = LatencyModel::default_internet();
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) samples.push_back(model.sample(rng));
+  EXPECT_NEAR(mean(samples), model.mean(), 0.002);
+}
+
+TEST(LatencyModel, DefaultInternetIsLongTailed) {
+  auto model = LatencyModel::default_internet();
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(model.sample(rng));
+  double p50 = percentile(samples, 50);
+  double p99 = percentile(samples, 99);
+  // Median around 100 ms, 99th percentile several times larger.
+  EXPECT_GT(p50, 0.05);
+  EXPECT_LT(p50, 0.20);
+  EXPECT_GT(p99, 3.0 * p50);
+}
+
+TEST(LatencyModel, BucketWeightsRespected) {
+  // A two-bucket model with 90/10 weights: ~90% of samples in bucket 1.
+  LatencyModel model({{0.0, 1.0, 0.9}, {10.0, 11.0, 0.1}});
+  Rng rng(5);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (model.sample(rng) < 5.0) ++low;
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.9, 0.01);
+}
+
+TEST(LatencyModel, RejectsEmptyAndInvalid) {
+  EXPECT_THROW(LatencyModel({}), std::invalid_argument);
+  EXPECT_THROW(LatencyModel({{1.0, 0.5, 1.0}}), std::invalid_argument);   // hi < lo
+  EXPECT_THROW(LatencyModel({{0.0, 1.0, -1.0}}), std::invalid_argument);  // bad weight
+  EXPECT_THROW(LatencyModel({{0.0, 1.0, 0.0}}), std::invalid_argument);   // zero total
+}
+
+TEST(LatencyModel, DeterministicGivenSeed) {
+  auto model = LatencyModel::default_internet();
+  Rng a(77), b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(model.sample(a), model.sample(b));
+}
+
+}  // namespace
+}  // namespace bng::net

@@ -1,0 +1,161 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bng::net {
+namespace {
+
+struct TestMessage : Message {
+  std::size_t size;
+  int tag;
+  TestMessage(std::size_t s, int t) : size(s), tag(t) {}
+  [[nodiscard]] std::size_t wire_size() const override { return size; }
+  [[nodiscard]] const char* type_name() const override { return "test"; }
+};
+
+struct Recorder : INode {
+  struct Received {
+    NodeId from;
+    int tag;
+    Seconds at;
+  };
+  std::vector<Received> received;
+  EventQueue* queue = nullptr;
+
+  void on_message(NodeId from, const MessagePtr& msg) override {
+    auto tm = std::dynamic_pointer_cast<const TestMessage>(msg);
+    received.push_back({from, tm ? tm->tag : -1, queue->now()});
+  }
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : topo_(Topology::line(3)),
+        rng_(1),
+        net_(queue_, topo_, LatencyModel::constant(0.1), LinkParams{100'000.0, 0}, rng_) {
+    for (NodeId i = 0; i < 3; ++i) {
+      nodes_.emplace_back();
+    }
+    for (NodeId i = 0; i < 3; ++i) {
+      nodes_[i].queue = &queue_;
+      net_.attach(i, &nodes_[i]);
+    }
+  }
+
+  EventQueue queue_;
+  Topology topo_;
+  Rng rng_;
+  Network net_;
+  std::deque<Recorder> nodes_;
+};
+
+TEST_F(NetworkTest, DeliversWithLatencyPlusTransfer) {
+  // 1250 bytes at 100 kbit/s = 0.1 s transfer, + 0.1 s latency.
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 7));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[1].received.size(), 1u);
+  EXPECT_EQ(nodes_[1].received[0].from, 0u);
+  EXPECT_EQ(nodes_[1].received[0].tag, 7);
+  EXPECT_NEAR(nodes_[1].received[0].at, 0.2, 1e-9);
+}
+
+TEST_F(NetworkTest, NonNeighborSendThrows) {
+  EXPECT_THROW(net_.send(0, 2, std::make_shared<TestMessage>(10, 0)), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, LinkSerializesBackToBackMessages) {
+  // Two 1250-byte messages on the same link: the second waits for the first.
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 1));
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 2));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[1].received.size(), 2u);
+  EXPECT_NEAR(nodes_[1].received[0].at, 0.2, 1e-9);
+  EXPECT_NEAR(nodes_[1].received[1].at, 0.3, 1e-9);  // queued behind the first
+  EXPECT_EQ(nodes_[1].received[1].tag, 2);
+}
+
+TEST_F(NetworkTest, OppositeDirectionsDoNotContend) {
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 1));
+  net_.send(1, 0, std::make_shared<TestMessage>(1250, 2));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[0].received.size(), 1u);
+  ASSERT_EQ(nodes_[1].received.size(), 1u);
+  EXPECT_NEAR(nodes_[0].received[0].at, 0.2, 1e-9);
+  EXPECT_NEAR(nodes_[1].received[0].at, 0.2, 1e-9);
+}
+
+TEST_F(NetworkTest, DistinctLinksDoNotContend) {
+  net_.send(1, 0, std::make_shared<TestMessage>(1250, 1));
+  net_.send(1, 2, std::make_shared<TestMessage>(1250, 2));
+  queue_.run_all();
+  EXPECT_NEAR(nodes_[0].received[0].at, 0.2, 1e-9);
+  EXPECT_NEAR(nodes_[2].received[0].at, 0.2, 1e-9);
+}
+
+TEST_F(NetworkTest, LargerMessagesTakeProportionallyLonger) {
+  net_.send(0, 1, std::make_shared<TestMessage>(12500, 1));  // 1 s transfer
+  queue_.run_all();
+  EXPECT_NEAR(nodes_[1].received[0].at, 1.1, 1e-9);
+}
+
+TEST_F(NetworkTest, PerMessageOverheadCounted) {
+  Rng rng(2);
+  Network overhead_net(queue_, topo_, LatencyModel::constant(0.0),
+                       LinkParams{100'000.0, 1250}, rng);
+  Recorder sink;
+  sink.queue = &queue_;
+  overhead_net.attach(0, &sink);
+  overhead_net.attach(1, &sink);
+  overhead_net.send(0, 1, std::make_shared<TestMessage>(0, 1));  // only overhead
+  queue_.run_all();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_NEAR(sink.received[0].at, 0.1, 1e-9);
+}
+
+TEST_F(NetworkTest, OfflineNodeDropsTraffic) {
+  net_.set_offline(1, true);
+  net_.send(0, 1, std::make_shared<TestMessage>(100, 1));
+  queue_.run_all();
+  EXPECT_TRUE(nodes_[1].received.empty());
+  net_.set_offline(1, false);
+  net_.send(0, 1, std::make_shared<TestMessage>(100, 2));
+  queue_.run_all();
+  EXPECT_EQ(nodes_[1].received.size(), 1u);
+}
+
+TEST_F(NetworkTest, OfflineSenderDropsTraffic) {
+  net_.set_offline(0, true);
+  net_.send(0, 1, std::make_shared<TestMessage>(100, 1));
+  queue_.run_all();
+  EXPECT_TRUE(nodes_[1].received.empty());
+}
+
+TEST_F(NetworkTest, ByteAndMessageCounters) {
+  net_.send(0, 1, std::make_shared<TestMessage>(100, 1));
+  net_.send(1, 2, std::make_shared<TestMessage>(50, 2));
+  EXPECT_EQ(net_.messages_sent(), 2u);
+  EXPECT_EQ(net_.bytes_sent(), 150u);  // overhead configured as 0 in fixture
+}
+
+TEST_F(NetworkTest, EdgeLatencySymmetricAndStable) {
+  EXPECT_DOUBLE_EQ(net_.edge_latency(0, 1), net_.edge_latency(1, 0));
+  EXPECT_THROW(net_.edge_latency(0, 2), std::invalid_argument);
+}
+
+TEST(NetworkStandalone, UnattachedRecipientThrows) {
+  EventQueue queue;
+  Rng rng(3);
+  auto topo = Topology::line(2);
+  Network net(queue, topo, LatencyModel::constant(0.0), LinkParams{1e9, 0}, rng);
+  Recorder a;
+  a.queue = &queue;
+  net.attach(0, &a);
+  net.send(0, 1, std::make_shared<TestMessage>(1, 1));
+  EXPECT_THROW(queue.run_all(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bng::net

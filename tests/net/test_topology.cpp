@@ -1,0 +1,98 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bng::net {
+namespace {
+
+TEST(Topology, RandomMeetsMinDegree) {
+  Rng rng(1);
+  auto topo = Topology::random(100, 5, rng);
+  for (NodeId n = 0; n < 100; ++n) EXPECT_GE(topo.peers(n).size(), 5u) << "node " << n;
+}
+
+TEST(Topology, RandomIsConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    auto topo = Topology::random(200, 5, rng);
+    EXPECT_TRUE(topo.connected()) << "seed " << seed;
+  }
+}
+
+TEST(Topology, EdgesAreSymmetric) {
+  Rng rng(2);
+  auto topo = Topology::random(50, 5, rng);
+  for (NodeId a = 0; a < 50; ++a)
+    for (NodeId b : topo.peers(a)) EXPECT_TRUE(topo.has_edge(b, a));
+}
+
+TEST(Topology, NoSelfLoopsOrDuplicates) {
+  Rng rng(3);
+  auto topo = Topology::random(80, 5, rng);
+  for (NodeId a = 0; a < 80; ++a) {
+    std::set<NodeId> uniq(topo.peers(a).begin(), topo.peers(a).end());
+    EXPECT_EQ(uniq.size(), topo.peers(a).size()) << "duplicate edge at " << a;
+    EXPECT_EQ(uniq.count(a), 0u) << "self loop at " << a;
+  }
+}
+
+TEST(Topology, SmallDiameterForRandomGraph) {
+  // Random 5-regular-ish graphs have diameter O(log n): for n=1000 expect < 8.
+  Rng rng(4);
+  auto topo = Topology::random(1000, 5, rng);
+  EXPECT_LE(topo.eccentricity(0), 8u);
+}
+
+TEST(Topology, CompleteGraph) {
+  auto topo = Topology::complete(10);
+  EXPECT_EQ(topo.num_edges(), 45u);
+  for (NodeId n = 0; n < 10; ++n) EXPECT_EQ(topo.peers(n).size(), 9u);
+  EXPECT_EQ(topo.eccentricity(3), 1u);
+}
+
+TEST(Topology, LineGraph) {
+  auto topo = Topology::line(10);
+  EXPECT_EQ(topo.num_edges(), 9u);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.eccentricity(0), 9u);
+  EXPECT_EQ(topo.eccentricity(5), 5u);
+}
+
+TEST(Topology, RejectsDegenerateInputs) {
+  Rng rng(5);
+  EXPECT_THROW(Topology::random(1, 5, rng), std::invalid_argument);
+  EXPECT_THROW(Topology::random(10, 10, rng), std::invalid_argument);
+}
+
+TEST(Topology, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto t1 = Topology::random(60, 5, a);
+  auto t2 = Topology::random(60, 5, b);
+  for (NodeId n = 0; n < 60; ++n) EXPECT_EQ(t1.peers(n), t2.peers(n));
+}
+
+TEST(Topology, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  auto t1 = Topology::random(60, 5, a);
+  auto t2 = Topology::random(60, 5, b);
+  bool any_diff = false;
+  for (NodeId n = 0; n < 60 && !any_diff; ++n) any_diff = t1.peers(n) != t2.peers(n);
+  EXPECT_TRUE(any_diff);
+}
+
+class TopologySizeTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TopologySizeTest, ConnectedAcrossSizes) {
+  Rng rng(99);
+  auto topo = Topology::random(GetParam(), 5, rng);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.num_nodes(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologySizeTest,
+                         ::testing::Values(6, 10, 50, 100, 500, 1000));
+
+}  // namespace
+}  // namespace bng::net

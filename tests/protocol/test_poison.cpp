@@ -1,0 +1,335 @@
+#include "ng/poison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/harness.hpp"
+#include "chain/utxo.hpp"
+#include "ng/ng_node.hpp"
+
+namespace bng::ng {
+namespace {
+
+using bng::testing::MiniNet;
+
+chain::Params ng_params() {
+  auto p = chain::Params::bitcoin_ng();
+  p.microblock_interval = 1.0;
+  p.max_microblock_size = 4000;
+  return p;
+}
+
+crypto::PrivateKey leader_key(NodeId id) {
+  return crypto::PrivateKey::from_seed(0x6e670000ull + id);
+}
+
+chain::BlockHeader signed_micro_header(const crypto::PrivateKey& sk, const Hash256& prev,
+                                       Seconds ts, std::uint64_t salt = 0) {
+  chain::BlockHeader h;
+  h.type = chain::BlockType::kMicro;
+  h.prev = prev;
+  h.timestamp = ts;
+  h.nonce = salt;
+  h.signature = crypto::sign(sk, h.signing_hash());
+  return h;
+}
+
+TEST(EquivocationDetectorTest, FirstObservationSilent) {
+  EquivocationDetector det;
+  auto sk = leader_key(0);
+  Hash256 epoch;
+  epoch.bytes[0] = 1;
+  Hash256 prev;
+  prev.bytes[0] = 2;
+  EXPECT_FALSE(det.observe(epoch, signed_micro_header(sk, prev, 1.0)).has_value());
+}
+
+TEST(EquivocationDetectorTest, ConflictReportedOnce) {
+  EquivocationDetector det;
+  auto sk = leader_key(0);
+  Hash256 epoch;
+  epoch.bytes[0] = 1;
+  Hash256 prev;
+  prev.bytes[0] = 2;
+  auto h1 = signed_micro_header(sk, prev, 1.0, 1);
+  auto h2 = signed_micro_header(sk, prev, 1.0, 2);
+  auto h3 = signed_micro_header(sk, prev, 1.0, 3);
+  EXPECT_FALSE(det.observe(epoch, h1).has_value());
+  auto fraud = det.observe(epoch, h2);
+  ASSERT_TRUE(fraud.has_value());
+  EXPECT_EQ(fraud->accused_key_block, epoch);
+  EXPECT_EQ(fraud->header_a.id(), h1.id());
+  EXPECT_EQ(fraud->header_b.id(), h2.id());
+  // Only one report per cheater (§4.5).
+  EXPECT_FALSE(det.observe(epoch, h3).has_value());
+}
+
+TEST(EquivocationDetectorTest, SameBlockReobservedIsBenign) {
+  EquivocationDetector det;
+  auto sk = leader_key(0);
+  Hash256 epoch, prev;
+  auto h1 = signed_micro_header(sk, prev, 1.0);
+  EXPECT_FALSE(det.observe(epoch, h1).has_value());
+  EXPECT_FALSE(det.observe(epoch, h1).has_value());
+}
+
+TEST(EquivocationDetectorTest, DifferentPrevIsBenign) {
+  // A leader extending its own chain is NOT equivocation (Fig 2 benign case).
+  EquivocationDetector det;
+  auto sk = leader_key(0);
+  Hash256 epoch;
+  Hash256 prev1, prev2;
+  prev1.bytes[0] = 1;
+  prev2.bytes[0] = 2;
+  EXPECT_FALSE(det.observe(epoch, signed_micro_header(sk, prev1, 1.0)).has_value());
+  EXPECT_FALSE(det.observe(epoch, signed_micro_header(sk, prev2, 2.0)).has_value());
+}
+
+TEST(EquivocationDetectorTest, DistinctEpochsTrackedIndependently) {
+  EquivocationDetector det;
+  auto sk = leader_key(0);
+  Hash256 e1, e2, prev;
+  e1.bytes[0] = 1;
+  e2.bytes[0] = 2;
+  EXPECT_FALSE(det.observe(e1, signed_micro_header(sk, prev, 1.0, 1)).has_value());
+  EXPECT_FALSE(det.observe(e2, signed_micro_header(sk, prev, 1.0, 2)).has_value());
+  EXPECT_TRUE(det.observe(e1, signed_micro_header(sk, prev, 1.0, 3)).has_value());
+  EXPECT_TRUE(det.observe(e2, signed_micro_header(sk, prev, 1.0, 4)).has_value());
+}
+
+/// Full scenario: leader 0 equivocates; node 1 becomes leader, detects and
+/// places a poison transaction.
+class PoisonScenario : public ::testing::Test {
+ protected:
+  PoisonScenario() : net_(3, ng_params()) {}
+
+  void run_attack() {
+    net_.node(0).on_mining_win(1.0);  // node 0 leads
+    net_.queue().run_until(net_.queue().now() + 2.5);
+    net_.settle();
+    // Node 0 signs a SECOND microblock extending its key block (the first
+    // one already extends it) -> equivocation visible to peers.
+    const auto& tree = net_.node(0).tree();
+    auto path = tree.path_from_genesis(tree.best_tip());
+    Hash256 key_block_id;
+    for (auto idx : path)
+      if (tree.entry(idx).block->type() == chain::BlockType::kKey)
+        key_block_id = tree.entry(idx).block->id();
+    accused_key_block_ = key_block_id;
+    net_.node(0).forge_microblock(key_block_id);
+    net_.settle();
+    // Node 1 takes over leadership and (holding fraud evidence) poisons.
+    net_.node(1).on_mining_win(1.0);
+    net_.queue().run_until(net_.queue().now() + 3.5);
+    net_.settle();
+  }
+
+  MiniNet<NgNode> net_;
+  Hash256 accused_key_block_;
+};
+
+TEST_F(PoisonScenario, FraudDetectedByPeers) {
+  run_attack();
+  EXPECT_FALSE(net_.trace().frauds().empty());
+  EXPECT_EQ(net_.trace().frauds()[0].accused_key_block, accused_key_block_);
+}
+
+TEST_F(PoisonScenario, NewLeaderPlacesPoison) {
+  run_attack();
+  EXPECT_EQ(net_.node(1).poisons_placed(), 1u);
+  // The poison transaction is on the main chain.
+  const auto& tree = net_.node(2).tree();
+  auto path = tree.path_from_genesis(tree.best_tip());
+  int poisons = 0;
+  for (auto idx : path)
+    for (const auto& tx : tree.entry(idx).block->txs())
+      if (tx->is_poison()) ++poisons;
+  EXPECT_EQ(poisons, 1);
+}
+
+TEST_F(PoisonScenario, PoisonPayloadValidates) {
+  run_attack();
+  const auto& tree = net_.node(2).tree();
+  auto path = tree.path_from_genesis(tree.best_tip());
+  const chain::Transaction* poison = nullptr;
+  for (auto idx : path)
+    for (const auto& tx : tree.entry(idx).block->txs())
+      if (tx->is_poison()) poison = tx.get();
+  ASSERT_NE(poison, nullptr);
+  auto r = check_poison(tree, tree.best_tip(), *poison->poison, /*verify_signature=*/true);
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST_F(PoisonScenario, ComputeRevocableCoversLeaderRevenue) {
+  run_attack();
+  const auto& tree = net_.node(2).tree();
+  Amount revocable = compute_revocable(tree, tree.best_tip(), accused_key_block_);
+  // At least the accused's subsidy is revocable.
+  EXPECT_GE(revocable, ng_params().block_subsidy);
+}
+
+TEST_F(PoisonScenario, BenignLeaderSwitchNotPoisonable) {
+  // A normal Fig-2 leader switch must not produce valid poison evidence.
+  net_.node(0).on_mining_win(1.0);
+  net_.queue().run_until(net_.queue().now() + 2.5);
+  net_.node(1).on_mining_win(1.0);
+  net_.queue().run_until(net_.queue().now() + 2.5);
+  net_.settle();
+  EXPECT_TRUE(net_.trace().frauds().empty());
+  EXPECT_EQ(net_.node(0).poisons_placed() + net_.node(1).poisons_placed() +
+                net_.node(2).poisons_placed(),
+            0u);
+}
+
+TEST(PoisonValidation, RejectsAccusedNotOnChain) {
+  MiniNet<NgNode> net(2, ng_params());
+  net.node(0).on_mining_win(1.0);
+  net.settle();
+  const auto& tree = net.node(0).tree();
+  chain::PoisonPayload payload;
+  payload.accused_key_block.bytes[0] = 0xab;  // unknown block
+  auto r = check_poison(tree, tree.best_tip(), payload, false);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PoisonValidation, RejectsHeaderOnMainChain) {
+  MiniNet<NgNode> net(2, ng_params());
+  net.node(0).on_mining_win(1.0);
+  net.queue().run_until(net.queue().now() + 1.5);
+  net.settle();
+  const auto& tree = net.node(0).tree();
+  auto path = tree.path_from_genesis(tree.best_tip());
+  // Claim the chain's own microblock is "pruned": must fail.
+  const auto& key_entry = tree.entry(path[1]);
+  const auto& micro_entry = tree.entry(path[2]);
+  ASSERT_EQ(micro_entry.block->type(), chain::BlockType::kMicro);
+  chain::PoisonPayload payload;
+  payload.accused_key_block = key_entry.block->id();
+  ByteWriter w;
+  micro_entry.block->header().serialize(w);
+  payload.pruned_header = w.data();
+  payload.pruned_header_id = micro_entry.block->id();
+  auto r = check_poison(tree, tree.best_tip(), payload, true);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("main chain"), std::string::npos);
+}
+
+TEST(PoisonValidation, RejectsGarbageHeader) {
+  MiniNet<NgNode> net(2, ng_params());
+  net.node(0).on_mining_win(1.0);
+  net.settle();
+  const auto& tree = net.node(0).tree();
+  auto path = tree.path_from_genesis(tree.best_tip());
+  chain::PoisonPayload payload;
+  payload.accused_key_block = tree.entry(path[1]).block->id();
+  payload.pruned_header = {1, 2, 3};  // not parseable
+  auto r = check_poison(tree, tree.best_tip(), payload, false);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PoisonLedger, RevokesCheaterRevenueAndPaysBounty) {
+  // Hand-build a chain: genesis -> key(A) -> micro -> key(B) -> micro with
+  // poison against A. Check balances through the Ledger.
+  auto params = ng_params();
+  params.coinbase_maturity = 100;
+  auto genesis = chain::make_genesis(4, kCoin);
+  chain::Ledger ledger(params);
+  ASSERT_TRUE(ledger.apply_block(*genesis).ok);
+
+  auto skA = leader_key(10);
+  auto skB = leader_key(11);
+  const Hash256 addrA = chain::address_of(skA.public_key());
+  const Hash256 addrB = chain::address_of(skB.public_key());
+
+  auto make_key_block = [&](const Hash256& prev, const crypto::PrivateKey& sk,
+                            std::uint32_t height) {
+    auto cb = std::make_shared<chain::Transaction>();
+    cb->coinbase_height = height;
+    cb->outputs.push_back(
+        chain::TxOutput{params.block_subsidy, chain::address_of(sk.public_key())});
+    std::vector<chain::TxPtr> txs{cb};
+    chain::BlockHeader h;
+    h.type = chain::BlockType::kKey;
+    h.prev = prev;
+    h.timestamp = 1.0;
+    h.merkle_root = chain::compute_merkle_root(txs);
+    h.leader_key = sk.public_key();
+    return std::make_shared<chain::Block>(h, txs, 0);
+  };
+
+  auto keyA = make_key_block(genesis->id(), skA, 2);
+  ASSERT_TRUE(ledger.apply_block(*keyA).ok);
+  EXPECT_EQ(ledger.total_balance(addrA), params.block_subsidy);
+
+  auto keyB = make_key_block(keyA->id(), skB, 3);
+  ASSERT_TRUE(ledger.apply_block(*keyB).ok);
+
+  // Poison transaction against A (evidence content is validated at the
+  // chain level; the ledger checks economics).
+  const auto pruned = signed_micro_header(skA, keyA->id(), 1.5);
+  const Amount bounty = static_cast<Amount>(params.poison_reward_fraction *
+                                            static_cast<double>(params.block_subsidy));
+  auto poison = make_poison_tx(keyA->id(), pruned, addrB, bounty);
+  chain::BlockHeader mh;
+  mh.type = chain::BlockType::kMicro;
+  mh.prev = keyB->id();
+  mh.timestamp = 2.0;
+  std::vector<chain::TxPtr> txs{poison};
+  mh.merkle_root = chain::compute_merkle_root(txs);
+  mh.signature = crypto::sign(skB, mh.signing_hash());
+  auto micro = std::make_shared<chain::Block>(mh, txs, 1);
+  auto result = ledger.apply_block(*micro);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // A lost everything; B gained the bounty (on top of its subsidy).
+  EXPECT_EQ(ledger.total_balance(addrA), 0);
+  EXPECT_EQ(ledger.total_balance(addrB), params.block_subsidy + bounty);
+  EXPECT_TRUE(ledger.is_poisoned(keyA->id()));
+
+  // Second poison against the same cheater must fail.
+  auto poison2 = make_poison_tx(keyA->id(), pruned, addrB, 0);
+  chain::BlockHeader mh2 = mh;
+  mh2.prev = micro->id();
+  mh2.timestamp = 3.0;
+  std::vector<chain::TxPtr> txs2{poison2};
+  mh2.merkle_root = chain::compute_merkle_root(txs2);
+  mh2.signature = crypto::sign(skB, mh2.signing_hash());
+  auto micro2 = std::make_shared<chain::Block>(mh2, txs2, 1);
+  EXPECT_FALSE(ledger.apply_block(*micro2).ok);
+}
+
+TEST(PoisonLedger, OversizedBountyRejected) {
+  auto params = ng_params();
+  auto genesis = chain::make_genesis(4, kCoin);
+  chain::Ledger ledger(params);
+  ASSERT_TRUE(ledger.apply_block(*genesis).ok);
+  auto skA = leader_key(10);
+
+  auto cb = std::make_shared<chain::Transaction>();
+  cb->coinbase_height = 2;
+  cb->outputs.push_back(
+      chain::TxOutput{params.block_subsidy, chain::address_of(skA.public_key())});
+  std::vector<chain::TxPtr> txs{cb};
+  chain::BlockHeader h;
+  h.type = chain::BlockType::kKey;
+  h.prev = genesis->id();
+  h.merkle_root = chain::compute_merkle_root(txs);
+  h.leader_key = skA.public_key();
+  auto keyA = std::make_shared<chain::Block>(h, txs, 0);
+  ASSERT_TRUE(ledger.apply_block(*keyA).ok);
+
+  // Greedy poisoner claims 50% instead of 5%.
+  auto poison = make_poison_tx(keyA->id(), signed_micro_header(skA, keyA->id(), 1.5),
+                               chain::address_from_tag(1), params.block_subsidy / 2);
+  chain::BlockHeader mh;
+  mh.type = chain::BlockType::kMicro;
+  mh.prev = keyA->id();
+  mh.timestamp = 2.0;
+  std::vector<chain::TxPtr> ptxs{poison};
+  mh.merkle_root = chain::compute_merkle_root(ptxs);
+  mh.signature = crypto::sign(skA, mh.signing_hash());
+  auto micro = std::make_shared<chain::Block>(mh, ptxs, 1);
+  EXPECT_FALSE(ledger.apply_block(*micro).ok);
+}
+
+}  // namespace
+}  // namespace bng::ng

@@ -1,0 +1,76 @@
+#include "sim/miner_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace bng::sim {
+namespace {
+
+TEST(ExponentialPowers, NormalizedAndDecreasing) {
+  auto powers = exponential_powers(100, -0.27);
+  double total = std::accumulate(powers.begin(), powers.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  for (std::size_t i = 1; i < powers.size(); ++i) EXPECT_LT(powers[i], powers[i - 1]);
+}
+
+TEST(ExponentialPowers, LargestMinerNearQuarter) {
+  // Paper §8.1: utilization tends to "1/4, the size of the largest miner".
+  auto powers = exponential_powers(1000, -0.27);
+  EXPECT_NEAR(powers[0], 0.236, 0.01);
+}
+
+TEST(ExponentialPowers, RatioMatchesExponent) {
+  auto powers = exponential_powers(50, -0.27);
+  for (std::size_t i = 1; i < 20; ++i)
+    EXPECT_NEAR(powers[i] / powers[i - 1], std::exp(-0.27), 1e-9);
+}
+
+TEST(ExponentialPowers, RejectsZeroMiners) {
+  EXPECT_THROW(exponential_powers(0), std::invalid_argument);
+}
+
+TEST(UniformPowers, EqualShares) {
+  auto powers = uniform_powers(8);
+  for (double p : powers) EXPECT_DOUBLE_EQ(p, 0.125);
+}
+
+TEST(SyntheticWeekly, SharesNormalizedAndRanked) {
+  Rng rng(1);
+  auto shares = synthetic_weekly_shares(20, -0.27, 0.3, rng);
+  EXPECT_EQ(shares.size(), 20u);
+  EXPECT_NEAR(std::accumulate(shares.begin(), shares.end(), 0.0), 1.0, 1e-12);
+  for (std::size_t i = 1; i < shares.size(); ++i) EXPECT_LE(shares[i], shares[i - 1]);
+}
+
+TEST(WeeklyRankStats, PercentilesOrdered) {
+  Rng rng(2);
+  auto stats = weekly_rank_statistics(20, 52, -0.27, 0.3, rng);
+  ASSERT_EQ(stats.p50.size(), 20u);
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_LE(stats.p25[r], stats.p50[r]);
+    EXPECT_LE(stats.p50[r], stats.p75[r]);
+  }
+  for (std::size_t r = 1; r < 20; ++r) EXPECT_LT(stats.p50[r], stats.p50[r - 1]);
+}
+
+TEST(FitRankExponent, RecoversPaperFit) {
+  // The paper reports exponent -0.27 with R^2 = 0.99 against rank medians.
+  Rng rng(3);
+  auto stats = weekly_rank_statistics(20, 52, -0.27, 0.25, rng);
+  auto fit = fit_rank_exponent(stats.p50);
+  EXPECT_NEAR(fit.exponent, -0.27, 0.04);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(FitRankExponent, PerfectExponential) {
+  std::vector<double> medians;
+  for (int r = 1; r <= 20; ++r) medians.push_back(std::exp(-0.27 * r));
+  auto fit = fit_rank_exponent(medians);
+  EXPECT_NEAR(fit.exponent, -0.27, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bng::sim
