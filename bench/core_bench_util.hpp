@@ -1,0 +1,31 @@
+// Shared pieces for the simulation-core benchmarks (bench_sim_core and the
+// google-benchmark suite in micro_core): message/sink stubs and the
+// deterministic LCG used to generate workloads. Keeping one copy means both
+// harnesses measure the same shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+
+namespace bng::bench {
+
+/// Inv-sized message with no payload logic.
+struct BenchMessage final : net::Message {
+  [[nodiscard]] std::size_t wire_size() const override { return 36; }
+  [[nodiscard]] const char* type_name() const override { return "bench"; }
+};
+
+/// Node that just counts deliveries.
+struct BenchSink final : net::INode {
+  std::uint64_t received = 0;
+  void on_message(NodeId, const net::MessagePtr&) override { ++received; }
+};
+
+/// Deterministic 64-bit LCG (Knuth constants) for benchmark workloads.
+inline std::uint64_t lcg_next(std::uint64_t& s) {
+  s = s * 6364136223846793005ull + 1442695040888963407ull;
+  return s;
+}
+
+}  // namespace bng::bench

@@ -1,14 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the primitives underpinning the
-// simulation: hashing, Merkle trees, ECDSA, the event queue, fork choice,
-// and mempool assembly. These bound how far the experiment harness scales.
+// simulation: hashing, Merkle trees, ECDSA, the event queue, the network
+// fast path, fork choice, and mempool assembly. These bound how far the
+// experiment harness scales.
+//
+// Machine-readable output: pass --benchmark_format=json (or use
+// bench_sim_core, which writes BENCH_core.json with the headline metrics).
 #include <benchmark/benchmark.h>
 
+#include "core_bench_util.hpp"
 #include "chain/block_tree.hpp"
 #include "chain/mempool.hpp"
 #include "crypto/ecdsa.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
 #include "net/event_queue.hpp"
+#include "net/latency_model.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
 
 namespace {
 
@@ -66,6 +74,74 @@ void BM_EventQueueChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EventQueueChurn)->Arg(10000);
+
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  // Self-rescheduling working set: the shape of a live simulation.
+  struct Ctx {
+    net::EventQueue q;
+    std::uint64_t lcg = 12345;
+    std::uint64_t fired = 0;
+  };
+  struct Tick {
+    Ctx* c;
+    void operator()() const {
+      ++c->fired;
+      c->q.schedule_in(1.0 + static_cast<double>(bench::lcg_next(c->lcg) >> 52), Tick{c});
+    }
+  };
+  Ctx ctx;
+  for (int i = 0; i < state.range(0); ++i) {
+    ctx.q.schedule_at(static_cast<double>(bench::lcg_next(ctx.lcg) >> 52), Tick{&ctx});
+  }
+  for (auto _ : state) {
+    const std::uint64_t target = ctx.fired + 10000;
+    while (ctx.fired < target) ctx.q.run_until(ctx.q.now() + 4096.0);
+    benchmark::DoNotOptimize(ctx.fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueueSteadyState)->Arg(4096);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  net::EventQueue q;
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(state.range(0)));
+  double base = 10.0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      ids[i] = q.schedule_at(base + static_cast<double>(i % 7), [] {});
+    for (std::uint64_t id : ids) q.cancel(id);
+    base += 10.0;
+    // Drain the tombstones inside the measurement: keeps memory bounded
+    // across framework-chosen iteration counts and charges the full
+    // cancelled-event lifecycle to the metric.
+    q.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(4096);
+
+void BM_NetworkGossipBurst(benchmark::State& state) {
+  const auto n_nodes = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(42);
+  net::EventQueue q;
+  net::Topology topo = net::Topology::random(n_nodes, 5, rng);
+  net::Network net(q, topo, net::LatencyModel::constant(0.05),
+                   net::LinkParams{100'000.0, 40}, rng);
+  std::vector<bench::BenchSink> sinks(n_nodes);
+  for (NodeId i = 0; i < n_nodes; ++i) net.attach(i, &sinks[i]);
+  std::uint64_t messages = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = net.messages_sent();
+    for (NodeId a = 0; a < n_nodes; ++a) {
+      auto msg = std::make_shared<bench::BenchMessage>();
+      for (NodeId b : net.peers(a)) net.send(a, b, msg);
+    }
+    q.run_all();
+    messages += net.messages_sent() - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_NetworkGossipBurst)->Arg(200)->Arg(1000);
 
 chain::BlockPtr bench_block(chain::BlockType type, const Hash256& prev, std::uint64_t salt) {
   chain::BlockHeader h;

@@ -4,13 +4,41 @@
 
 namespace bng::chain {
 
-void UtxoSet::add(const Outpoint& op, UtxoEntry entry) { map_[op] = std::move(entry); }
+void UtxoSet::credit(const UtxoEntry& entry) {
+  OwnerBalance& ob = by_owner_[entry.out.owner];
+  ob.total += entry.out.value;
+  if (entry.coinbase_pow_height)
+    ob.coinbase_by_height[*entry.coinbase_pow_height] += entry.out.value;
+}
+
+void UtxoSet::debit(const UtxoEntry& entry) {
+  auto it = by_owner_.find(entry.out.owner);
+  if (it == by_owner_.end()) return;  // unreachable if add/spend are paired
+  OwnerBalance& ob = it->second;
+  ob.total -= entry.out.value;
+  if (entry.coinbase_pow_height) {
+    auto h = ob.coinbase_by_height.find(*entry.coinbase_pow_height);
+    if (h != ob.coinbase_by_height.end()) {
+      h->second -= entry.out.value;
+      if (h->second == 0) ob.coinbase_by_height.erase(h);
+    }
+  }
+  if (ob.total == 0 && ob.coinbase_by_height.empty()) by_owner_.erase(it);
+}
+
+void UtxoSet::add(const Outpoint& op, UtxoEntry entry) {
+  auto [it, inserted] = map_.try_emplace(op);
+  if (!inserted) debit(it->second);  // overwrite of an existing outpoint
+  credit(entry);
+  it->second = std::move(entry);
+}
 
 std::optional<UtxoEntry> UtxoSet::spend(const Outpoint& op) {
   auto it = map_.find(op);
   if (it == map_.end()) return std::nullopt;
   UtxoEntry entry = std::move(it->second);
   map_.erase(it);
+  debit(entry);
   return entry;
 }
 
@@ -21,15 +49,19 @@ const UtxoEntry* UtxoSet::find(const Outpoint& op) const {
 
 Amount UtxoSet::balance(const Hash256& addr, std::optional<std::uint32_t> matured_at,
                         std::uint32_t maturity) const {
-  Amount total = 0;
-  for (const auto& [op, entry] : map_) {
-    if (entry.out.owner != addr) continue;
-    if (matured_at && entry.coinbase_pow_height &&
-        *entry.coinbase_pow_height + maturity > *matured_at)
-      continue;
-    total += entry.out.value;
-  }
-  return total;
+  auto it = by_owner_.find(addr);
+  if (it == by_owner_.end()) return 0;
+  const OwnerBalance& ob = it->second;
+  if (!matured_at) return ob.total;
+  // Subtract coinbase outputs not yet matured: height h is immature iff
+  // h + maturity > matured_at, i.e. h >= matured_at - maturity + 1.
+  const std::uint32_t first_immature =
+      *matured_at >= maturity ? *matured_at - maturity + 1 : 0;
+  Amount immature = 0;
+  for (auto h = ob.coinbase_by_height.lower_bound(first_immature);
+       h != ob.coinbase_by_height.end(); ++h)
+    immature += h->second;
+  return ob.total - immature;
 }
 
 Ledger::Ledger(Params params) : params_(std::move(params)) {}

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,13 +36,27 @@ class UtxoSet {
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
   /// Sum of values owned by `addr`; if `min_matured_height` is given, only
-  /// counts coinbase outputs matured at that PoW height.
+  /// counts coinbase outputs matured at that PoW height. O(log k) in the
+  /// owner's immature-coinbase heights via the per-owner running index
+  /// (previously a full scan of the UTXO set).
   [[nodiscard]] Amount balance(const Hash256& addr,
                                std::optional<std::uint32_t> matured_at = std::nullopt,
                                std::uint32_t maturity = 0) const;
 
  private:
+  /// Running per-owner balance, maintained by add/spend. `total` counts every
+  /// owned output; `coinbase_by_height` tracks the coinbase slice so maturity
+  /// filters subtract exactly the not-yet-matured part.
+  struct OwnerBalance {
+    Amount total = 0;
+    std::map<std::uint32_t, Amount> coinbase_by_height;
+  };
+
+  void credit(const UtxoEntry& entry);
+  void debit(const UtxoEntry& entry);
+
   std::unordered_map<Outpoint, UtxoEntry, OutpointHasher> map_;
+  std::unordered_map<Hash256, OwnerBalance, Hash256Hasher> by_owner_;
 };
 
 /// Replays a chain, block by block, maintaining the UTXO state machine.

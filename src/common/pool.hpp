@@ -1,0 +1,96 @@
+// Pooled shared_ptr construction for high-churn simulation objects.
+//
+// Block gossip fan-out creates and drops millions of small wire messages per
+// run; make_shared pays one malloc/free per message (object + control block
+// combined, but still a heap round-trip). make_pooled routes the combined
+// allocation through a per-size freelist so steady-state message churn does
+// no heap allocation at all.
+//
+// Single-threaded by design, like the rest of the simulation core: the
+// freelists are unsynchronized globals. Memory is bounded by the peak number
+// of simultaneously live objects per size class and is returned to the OS at
+// process exit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace bng {
+
+namespace detail {
+
+/// One freelist per (size, alignment) class. Blocks are recycled raw memory
+/// large enough for allocate_shared's combined object + control block node.
+/// thread_local so a future thread-per-seed sweep driver gets one pool per
+/// thread instead of a data race (each simulation is single-threaded, so
+/// blocks never migrate between threads).
+template <std::size_t Size, std::size_t Align>
+struct FreeList {
+  union Node {
+    Node* next;
+    alignas(Align) unsigned char storage[Size];
+  };
+  static inline thread_local Node* head_ = nullptr;
+
+  static void* pop() {
+    if (head_ == nullptr) return nullptr;
+    Node* n = head_;
+    head_ = n->next;
+    return n;
+  }
+
+  static void push(void* p) {
+    Node* n = static_cast<Node*>(p);
+    n->next = head_;
+    head_ = n;
+  }
+
+  static void* allocate() {
+    if (void* p = pop()) return p;
+    return ::operator new(sizeof(Node), std::align_val_t{alignof(Node)});
+  }
+};
+
+}  // namespace detail
+
+/// Minimal allocator backing make_pooled. Only single-object allocations are
+/// pooled (the allocate_shared pattern); anything else falls through to the
+/// global heap.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n == 1)
+      return static_cast<T*>(detail::FreeList<sizeof(T), alignof(T)>::allocate());
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{alignof(T)}));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      detail::FreeList<sizeof(T), alignof(T)>::push(p);
+      return;
+    }
+    ::operator delete(p, std::align_val_t{alignof(T)});
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+/// Drop-in replacement for std::make_shared backed by the freelist pool.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>{}, std::forward<Args>(args)...);
+}
+
+}  // namespace bng

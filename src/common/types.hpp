@@ -5,6 +5,7 @@
 #include <compare>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -28,15 +29,20 @@ struct Hash256 {
   static Hash256 from_hex(const std::string& hex);
 };
 
-/// FNV-1a over the raw bytes; hash values are already uniform so any mix is fine.
+/// Word-wise multiply-xor mix. The old byte-wise FNV-1a walked all 32 bytes
+/// per lookup, which showed up on the message-path profile (known/requested/
+/// orphan sets); four 64-bit steps give the same dispersion at a fraction of
+/// the cost.
 struct Hash256Hasher {
   std::size_t operator()(const Hash256& h) const noexcept {
-    std::size_t x = 1469598103934665603ull;
-    for (auto b : h.bytes) {
-      x ^= b;
-      x *= 1099511628211ull;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 4; ++i) {
+      std::uint64_t w;
+      std::memcpy(&w, h.bytes.data() + 8 * i, 8);
+      x = (x ^ w) * 0xff51afd7ed558ccdull;
     }
-    return x;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
   }
 };
 

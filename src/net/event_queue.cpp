@@ -1,49 +1,181 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace bng::net {
 
-std::uint64_t EventQueue::schedule_at(Seconds at, Callback fn) {
-  if (at < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
-  std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+void EventQueue::grow_slots() { chunks_.push_back(std::make_unique<Slot[]>(kChunkSize)); }
+
+bool EventQueue::cancel(std::uint64_t id) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= num_slots_) return false;
+  Slot& s = slot(idx);
+  if (s.gen != gen || !s.fn) return false;
+  // Lazy deletion: invalidate the slot; the queue entry dies when it
+  // surfaces (pop, run rebuild, or compaction).
+  ++s.gen;
+  s.fn.reset();
+  free_slots_.push_back(idx);
+  ++stale_;
+  return true;
 }
 
-bool EventQueue::cancel(std::uint64_t id) { return callbacks_.erase(id) > 0; }
+void EventQueue::build_run() {
+  run_.clear();
+  run_index_ = 0;
+  // When mostly tombstones (mass cancellation), one compaction sweep beats
+  // selecting among the dead repeatedly.
+  if (stale_ > 0 && stale_ >= future_.size() / 2) {
+    std::size_t kept = 0;
+    for (const Entry& e : future_) {
+      if (slot(e.slot).gen == e.gen) future_[kept++] = e;
+    }
+    stale_ -= future_.size() - kept;
+    future_.resize(kept);
+  }
+  const std::size_t total = future_.size();
+  const std::size_t batch = std::max<std::size_t>(1024, total / 8);
+  std::size_t take = total;
+  if (total > 2 * batch) {
+    take = batch;
+    // Partition: [0, take) holds the `take` order-smallest events.
+    std::nth_element(future_.begin(),
+                     future_.begin() + static_cast<std::ptrdiff_t>(take), future_.end(),
+                     entry_less);
+  }
+  run_.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const Entry& e = future_[i];
+    if (slot(e.slot).gen == e.gen) {
+      run_.push_back(e);  // live
+    } else {
+      --stale_;
+    }
+  }
+  // Backfill the consumed prefix from the tail (future_ is unsorted).
+  const std::size_t rest = total - take;
+  const std::size_t tail = std::min(take, rest);
+  std::copy(future_.end() - static_cast<std::ptrdiff_t>(tail), future_.end(),
+            future_.begin());
+  future_.resize(rest);
+  std::sort(run_.begin(), run_.end(), entry_less);
+  if (!run_.empty()) run_max_at_ = run_.back().at;
+}
 
-bool EventQueue::pop_one() {
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      heap_.pop();  // cancelled
+bool EventQueue::pop_one(Seconds limit) {
+  for (;;) {
+    const bool have_run = run_index_ < run_.size();
+    const bool have_near = !near_.empty();
+    const Entry* cand;
+    bool from_near;
+    if (have_run && (!have_near || entry_less(run_[run_index_], near_.front()))) {
+      cand = &run_[run_index_];
+      from_near = false;
+    } else if (have_near) {
+      cand = &near_.front();
+      from_near = true;
+    } else {
+      if (future_.empty()) return false;
+      build_run();
       continue;
     }
-    now_ = top.at;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    heap_.pop();
+
+    Slot& s = slot(cand->slot);
+    if (s.gen != cand->gen) {  // cancelled; entry is stale
+      --stale_;
+      if (from_near) {
+        near_pop_top();
+      } else {
+        ++run_index_;
+      }
+      continue;
+    }
+    if (cand->at > limit) return false;
+
+    const Entry e = *cand;
+    if (from_near) {
+      near_pop_top();
+    } else {
+      ++run_index_;
+    }
+    now_ = e.at;
+    ++s.gen;  // no longer cancellable: it fires now
     ++executed_;
-    fn();
+    // Invoke in place — slot addresses are stable (chunked storage), and the
+    // slot cannot be recycled until it is pushed onto the freelist below, so
+    // callbacks may schedule freely. The callable is destroyed only after it
+    // returns, like the std::function it replaced.
+    try {
+      s.fn();
+    } catch (...) {
+      s.fn.reset();
+      free_slots_.push_back(e.slot);
+      throw;
+    }
+    s.fn.reset();
+    free_slots_.push_back(e.slot);
     return true;
   }
-  return false;
 }
 
 void EventQueue::run_until(Seconds t_end) {
-  while (!heap_.empty() && heap_.top().at <= t_end) {
-    if (!pop_one()) break;
+  while (pop_one(t_end)) {
   }
   if (now_ < t_end) now_ = t_end;
 }
 
 void EventQueue::run_all() {
-  while (pop_one()) {
+  constexpr Seconds kNoLimit = std::numeric_limits<Seconds>::infinity();
+  while (pop_one(kNoLimit)) {
   }
+}
+
+// --- Small 4-ary min-heap for late arrivals inside the run window -----------
+//
+// Holds only events scheduled (after the current run was frozen) for times
+// before the run boundary — typically zero-delay follow-ups. Stays tiny, so
+// sift depth is 1-2 levels.
+
+void EventQueue::near_push(const Entry& e) {
+  near_.push_back(e);
+  std::size_t i = near_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    const Entry& p = near_[parent];
+    if (entry_less(p, e)) break;
+    near_[i] = p;
+    i = parent;
+  }
+  near_[i] = e;
+}
+
+void EventQueue::near_pop_top() {
+  const std::size_t n = near_.size() - 1;
+  if (n == 0) {
+    near_.pop_back();
+    return;
+  }
+  const Entry e = near_[n];
+  near_.pop_back();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t end_child = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < end_child; ++c) {
+      if (entry_less(near_[c], near_[best])) best = c;
+    }
+    if (entry_less(e, near_[best])) break;
+    near_[i] = near_[best];
+    i = best;
+  }
+  near_[i] = e;
 }
 
 }  // namespace bng::net

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bng::net {
@@ -7,15 +8,55 @@ namespace bng::net {
 Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
                  LinkParams params, Rng& rng)
     : queue_(queue), topology_(topology), params_(params) {
-  handlers_.resize(topology_.num_nodes(), nullptr);
-  offline_.resize(topology_.num_nodes(), false);
+  const std::uint32_t n = topology_.num_nodes();
+  handlers_.resize(n, nullptr);
+  offline_.resize(n, false);
+
+  // CSR rows, sorted by peer id so find_edge is a short binary search over
+  // contiguous memory.
+  offset_.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v)
+    offset_[v + 1] = offset_[v] + static_cast<std::uint32_t>(topology_.peers(v).size());
+  row_sorted_.resize(offset_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& adj = topology_.peers(v);
+    std::copy(adj.begin(), adj.end(), row_sorted_.begin() + offset_[v]);
+    std::sort(row_sorted_.begin() + offset_[v], row_sorted_.begin() + offset_[v + 1]);
+  }
+  latency_.resize(offset_[n], 0);
+  busy_until_.resize(offset_[n], 0);
+
   // Draw a symmetric latency per undirected edge, once, like the paper's
-  // fixed per-pair assignment.
-  for (NodeId a = 0; a < topology_.num_nodes(); ++a) {
+  // fixed per-pair assignment. Iteration order matches the pre-CSR
+  // implementation so a given rng yields the identical assignment.
+  for (NodeId a = 0; a < n; ++a) {
     for (NodeId b : topology_.peers(a)) {
-      if (a < b) edge_latency_[edge_key(a, b)] = latency.sample(rng);
+      if (a < b) {
+        const Seconds sample = latency.sample(rng);
+        latency_[find_edge(a, b)] = sample;
+        latency_[find_edge(b, a)] = sample;
+      }
     }
   }
+}
+
+std::uint32_t Network::find_edge(NodeId from, NodeId to) const {
+  if (from >= topology_.num_nodes()) return kNoEdge;
+  const std::uint32_t lo = offset_[from];
+  const std::uint32_t hi = offset_[from + 1];
+  // Rows are short (min_degree ~5, so ~10 on average): a linear scan over
+  // one or two cache lines beats a branchy binary search.
+  if (hi - lo <= 32) {
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      if (row_sorted_[i] == to) return i;
+    }
+    return kNoEdge;
+  }
+  const auto row_begin = row_sorted_.begin() + lo;
+  const auto row_end = row_sorted_.begin() + hi;
+  const auto it = std::lower_bound(row_begin, row_end, to);
+  if (it == row_end || *it != to) return kNoEdge;
+  return static_cast<std::uint32_t>(it - row_sorted_.begin());
 }
 
 void Network::attach(NodeId node, INode* handler) {
@@ -24,15 +65,14 @@ void Network::attach(NodeId node, INode* handler) {
 }
 
 Seconds Network::edge_latency(NodeId a, NodeId b) const {
-  auto it = edge_latency_.find(edge_key(a, b));
-  if (it == edge_latency_.end()) throw std::invalid_argument("Network: no such edge");
-  return it->second;
+  const std::uint32_t e = find_edge(a, b);
+  if (e == kNoEdge) throw std::invalid_argument("Network: no such edge");
+  return latency_[e];
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
-  auto lat_it = edge_latency_.find(edge_key(from, to));
-  if (lat_it == edge_latency_.end())
-    throw std::invalid_argument("Network::send: nodes are not neighbours");
+  const std::uint32_t e = find_edge(from, to);
+  if (e == kNoEdge) throw std::invalid_argument("Network::send: nodes are not neighbours");
   if (offline_[from] || offline_[to]) return;
 
   const std::size_t wire_bytes = msg->wire_size() + params_.per_message_overhead_bytes;
@@ -41,11 +81,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
 
   // Store-and-forward over a serialized directed link.
   const Seconds transfer = static_cast<double>(wire_bytes) * 8.0 / params_.bandwidth_bps;
-  Seconds& busy_until = link_busy_until_[directed_key(from, to)];
-  const Seconds start = std::max(queue_.now(), busy_until);
+  const Seconds start = std::max(queue_.now(), busy_until_[e]);
   const Seconds done_sending = start + transfer;
-  busy_until = done_sending;
-  const Seconds arrival = done_sending + lat_it->second;
+  busy_until_[e] = done_sending;
+  const Seconds arrival = done_sending + latency_[e];
 
   queue_.schedule_at(arrival, [this, from, to, msg = std::move(msg)] {
     if (offline_[to]) return;

@@ -6,11 +6,15 @@
 // block occupies the link for size/bandwidth seconds before the propagation
 // latency even begins — this is what creates the linear size/latency
 // relation of Fig 7 and the fork pressure of Fig 8b.
+//
+// Fast-path design: the per-edge state (latency, link-busy horizon) lives in
+// CSR-style flat arrays indexed by a directed-edge slot resolved once at
+// construction, so send() is a short binary search over one adjacency row
+// plus pure array arithmetic — no hash maps anywhere on the message path.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -23,6 +27,12 @@ namespace bng::net {
 
 /// Base class for anything sent over the wire. Subclasses add payload.
 struct Message {
+  /// Dispatch tag so receivers can switch + static_cast instead of paying a
+  /// dynamic_cast chain per delivery. 0 = untagged; the protocol layer owns
+  /// the id space (see protocol::MessageKind).
+  const std::uint8_t kind;
+
+  explicit Message(std::uint8_t k = 0) : kind(k) {}
   virtual ~Message() = default;
   /// Serialized size in bytes; drives the bandwidth model.
   [[nodiscard]] virtual std::size_t wire_size() const = 0;
@@ -81,20 +91,26 @@ class Network {
   [[nodiscard]] bool is_offline(NodeId node) const { return offline_[node]; }
 
  private:
-  static std::uint64_t edge_key(NodeId a, NodeId b) {
-    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
-  }
-  static std::uint64_t directed_key(NodeId from, NodeId to) {
-    return (static_cast<std::uint64_t>(from) << 32) | to;
-  }
+  static constexpr std::uint32_t kNoEdge = UINT32_MAX;
+
+  /// Directed-edge slot for (from, to): position of `to` in `from`'s sorted
+  /// adjacency row, offset by the CSR row start. kNoEdge if absent.
+  [[nodiscard]] std::uint32_t find_edge(NodeId from, NodeId to) const;
 
   EventQueue& queue_;
   Topology topology_;
   LinkParams params_;
   std::vector<INode*> handlers_;
   std::vector<bool> offline_;
-  std::unordered_map<std::uint64_t, Seconds> edge_latency_;   // undirected
-  std::unordered_map<std::uint64_t, Seconds> link_busy_until_;  // directed
+
+  // CSR adjacency: row of node v is row_sorted_[offset_[v] .. offset_[v+1]),
+  // sorted by peer id for binary search. Iteration order of neighbours is
+  // still Topology's original order (peers()); only lookups use these rows.
+  std::vector<std::uint32_t> offset_;      // num_nodes + 1
+  std::vector<NodeId> row_sorted_;         // peer id per directed-edge slot
+  std::vector<Seconds> latency_;           // per directed-edge slot, symmetric
+  std::vector<Seconds> busy_until_;        // per directed-edge slot (directed)
+
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "common/pool.hpp"
+
 namespace bng::protocol {
 
 namespace {
@@ -26,26 +28,30 @@ BaseNode::BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeCo
 }
 
 void BaseNode::on_message(NodeId from, const net::MessagePtr& msg) {
-  if (auto inv = std::dynamic_pointer_cast<const InvMessage>(msg)) {
-    handle_inv(from, *inv);
-  } else if (auto req = std::dynamic_pointer_cast<const GetDataMessage>(msg)) {
-    handle_getdata(from, *req);
-  } else if (auto blk = std::dynamic_pointer_cast<const BlockMessage>(msg)) {
-    handle_block_msg(from, *blk);
-  } else {
-    throw std::logic_error("BaseNode: unknown message type");
+  switch (msg->kind) {
+    case kInvKind:
+      handle_inv(from, static_cast<const InvMessage&>(*msg));
+      break;
+    case kGetDataKind:
+      handle_getdata(from, static_cast<const GetDataMessage&>(*msg));
+      break;
+    case kBlockKind:
+      handle_block_msg(from, static_cast<const BlockMessage&>(*msg));
+      break;
+    default:
+      throw std::logic_error("BaseNode: unknown message type");
   }
 }
 
 void BaseNode::handle_inv(NodeId from, const InvMessage& inv) {
   if (known_.count(inv.block_id) > 0 || requested_.count(inv.block_id) > 0) return;
   requested_.insert(inv.block_id);
-  net_.send(id_, from, std::make_shared<GetDataMessage>(inv.block_id));
+  net_.send(id_, from, make_pooled<GetDataMessage>(inv.block_id));
 }
 
 void BaseNode::handle_getdata(NodeId from, const GetDataMessage& req) {
   chain::BlockPtr block = find_block(req.block_id);
-  if (block != nullptr) net_.send(id_, from, std::make_shared<BlockMessage>(std::move(block)));
+  if (block != nullptr) net_.send(id_, from, make_pooled<BlockMessage>(std::move(block)));
 }
 
 chain::BlockPtr BaseNode::find_block(const Hash256& id) const {
@@ -69,16 +75,20 @@ void BaseNode::handle_block_msg(NodeId from, const BlockMessage& msg) {
   process_after(cost, [this, block, from] { handle_block(block, from); });
 }
 
-void BaseNode::process_after(Seconds cost, std::function<void()> fn) {
+void BaseNode::process_after(Seconds cost, net::EventQueue::Callback fn) {
   const Seconds start = std::max(now(), cpu_busy_until_);
   cpu_busy_until_ = start + cost;
   net_.queue().schedule_at(cpu_busy_until_, std::move(fn));
 }
 
 void BaseNode::announce(const Hash256& id, NodeId except) {
+  // One immutable inv shared across the whole fan-out: broadcast costs one
+  // pooled allocation, not one per neighbour.
+  net::MessagePtr inv;
   for (NodeId peer : net_.peers(id_)) {
     if (peer == except) continue;
-    net_.send(id_, peer, std::make_shared<InvMessage>(id));
+    if (inv == nullptr) inv = make_pooled<InvMessage>(id);
+    net_.send(id_, peer, inv);
   }
 }
 
@@ -102,7 +112,7 @@ bool BaseNode::ensure_parent(const chain::BlockPtr& block, NodeId from) {
   orphans_[parent].emplace_back(block, from);
   if (requested_.count(parent) == 0 && known_.count(parent) == 0 && from != id_) {
     requested_.insert(parent);
-    net_.send(id_, from, std::make_shared<GetDataMessage>(parent));
+    net_.send(id_, from, make_pooled<GetDataMessage>(parent));
   }
   return false;
 }

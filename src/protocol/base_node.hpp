@@ -93,7 +93,7 @@ class BaseNode : public net::INode {
   bool ensure_parent(const chain::BlockPtr& block, NodeId from);
 
   /// Queue `fn` on this node's CPU after `cost` seconds of processing.
-  void process_after(Seconds cost, std::function<void()> fn);
+  void process_after(Seconds cost, net::EventQueue::Callback fn);
 
   [[nodiscard]] Seconds now() const { return net_.queue().now(); }
 

@@ -7,11 +7,18 @@
 
 namespace bng::protocol {
 
+/// Dispatch tags carried in net::Message::kind (hot path: switch, not RTTI).
+enum MessageKind : std::uint8_t {
+  kInvKind = 1,
+  kGetDataKind = 2,
+  kBlockKind = 3,
+};
+
 /// Announcement of a block id (bitcoind `inv`).
 struct InvMessage final : net::Message {
   Hash256 block_id;
 
-  explicit InvMessage(const Hash256& id) : block_id(id) {}
+  explicit InvMessage(const Hash256& id) : net::Message(kInvKind), block_id(id) {}
   [[nodiscard]] std::size_t wire_size() const override { return 36; }
   [[nodiscard]] const char* type_name() const override { return "inv"; }
 };
@@ -20,7 +27,7 @@ struct InvMessage final : net::Message {
 struct GetDataMessage final : net::Message {
   Hash256 block_id;
 
-  explicit GetDataMessage(const Hash256& id) : block_id(id) {}
+  explicit GetDataMessage(const Hash256& id) : net::Message(kGetDataKind), block_id(id) {}
   [[nodiscard]] std::size_t wire_size() const override { return 36; }
   [[nodiscard]] const char* type_name() const override { return "getdata"; }
 };
@@ -29,7 +36,7 @@ struct GetDataMessage final : net::Message {
 struct BlockMessage final : net::Message {
   chain::BlockPtr block;
 
-  explicit BlockMessage(chain::BlockPtr b) : block(std::move(b)) {}
+  explicit BlockMessage(chain::BlockPtr b) : net::Message(kBlockKind), block(std::move(b)) {}
   [[nodiscard]] std::size_t wire_size() const override { return block->wire_size(); }
   [[nodiscard]] const char* type_name() const override { return "block"; }
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace bng::chain {
 namespace {
 
@@ -54,6 +56,65 @@ TEST(UtxoSet, BalanceByOwner) {
   EXPECT_EQ(set.balance(addr), 300);
   EXPECT_EQ(set.balance(address_from_tag(8)), 55);
   EXPECT_EQ(set.balance(address_from_tag(9)), 0);
+}
+
+// The per-owner running balance index must stay consistent with a brute-force
+// recomputation through arbitrary interleavings of add / spend / overwrite,
+// including maturity queries at several heights.
+TEST(UtxoSet, BalanceIndexMatchesBruteForce) {
+  UtxoSet set;
+  std::vector<std::pair<Outpoint, UtxoEntry>> shadow;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  constexpr std::uint32_t kOwners = 5;
+  constexpr std::uint32_t kMaturity = 10;
+
+  auto brute_balance = [&shadow](const Hash256& addr, std::optional<std::uint32_t> at,
+                                 std::uint32_t maturity) {
+    Amount total = 0;
+    for (const auto& [op, e] : shadow) {
+      if (e.out.owner != addr) continue;
+      if (at && e.coinbase_pow_height && *e.coinbase_pow_height + maturity > *at) continue;
+      total += e.out.value;
+    }
+    return total;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto roll = next() % 10;
+    if (roll < 6 || shadow.empty()) {  // add (sometimes overwriting)
+      Outpoint op;
+      op.txid.bytes[0] = static_cast<std::uint8_t>(next() % 64);
+      op.vout = static_cast<std::uint32_t>(next() % 4);
+      UtxoEntry e;
+      e.out.value = static_cast<Amount>(1 + next() % 1000);
+      e.out.owner = address_from_tag(next() % kOwners);
+      if (next() % 3 == 0) e.coinbase_pow_height = static_cast<std::uint32_t>(next() % 30);
+      auto it = std::find_if(shadow.begin(), shadow.end(),
+                             [&op](const auto& kv) { return kv.first == op; });
+      if (it != shadow.end()) {
+        it->second = e;
+      } else {
+        shadow.emplace_back(op, e);
+      }
+      set.add(op, e);
+    } else {  // spend a random live outpoint
+      const auto idx = next() % shadow.size();
+      set.spend(shadow[idx].first);
+      shadow.erase(shadow.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    if (step % 100 == 0) {
+      for (std::uint32_t owner = 0; owner < kOwners; ++owner) {
+        const auto addr = address_from_tag(owner);
+        EXPECT_EQ(set.balance(addr), brute_balance(addr, std::nullopt, 0));
+        for (std::uint32_t h : {0u, 5u, 15u, 40u})
+          EXPECT_EQ(set.balance(addr, h, kMaturity), brute_balance(addr, h, kMaturity));
+      }
+    }
+  }
 }
 
 TEST(UtxoSet, MaturityFiltersCoinbase) {

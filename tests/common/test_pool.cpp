@@ -1,0 +1,60 @@
+#include "common/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bng {
+namespace {
+
+struct Tracked {
+  static inline int live = 0;
+  int value;
+  explicit Tracked(int v) : value(v) { ++live; }
+  ~Tracked() { --live; }
+};
+
+TEST(Pool, ConstructsAndDestroys) {
+  Tracked::live = 0;
+  {
+    auto p = make_pooled<Tracked>(42);
+    EXPECT_EQ(p->value, 42);
+    EXPECT_EQ(Tracked::live, 1);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Pool, RecyclesMemory) {
+  // After release, the freelist must hand the same block back.
+  auto p1 = make_pooled<Tracked>(1);
+  const void* addr1 = p1.get();
+  p1.reset();
+  auto p2 = make_pooled<Tracked>(2);
+  EXPECT_EQ(static_cast<const void*>(p2.get()), addr1);
+  EXPECT_EQ(p2->value, 2);
+}
+
+TEST(Pool, ManyLiveObjectsAreDistinct) {
+  std::vector<std::shared_ptr<Tracked>> objs;
+  for (int i = 0; i < 1000; ++i) objs.push_back(make_pooled<Tracked>(i));
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(objs[i]->value, i);
+  EXPECT_EQ(Tracked::live, 1000);
+  objs.clear();
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Pool, WeakPtrKeepsControlBlockSafe) {
+  // allocate_shared puts object and control block in one pooled node; the
+  // node must not be recycled while a weak_ptr still references it.
+  std::weak_ptr<Tracked> weak;
+  {
+    auto p = make_pooled<Tracked>(5);
+    weak = p;
+  }
+  EXPECT_TRUE(weak.expired());
+  auto other = make_pooled<Tracked>(6);  // may reuse memory once weak released
+  EXPECT_EQ(other->value, 6);
+}
+
+}  // namespace
+}  // namespace bng

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace bng::net {
@@ -113,6 +115,142 @@ TEST(EventQueue, ManyEventsStressOrdering) {
   }
   q.run_all();
   EXPECT_TRUE(monotonic);
+}
+
+// --- Regression guards for the lazy-queue rewrite ---------------------------
+
+// FIFO tie-break must hold even when equal-timestamp events are scheduled in
+// separate waves interleaved with execution (i.e. across internal run
+// rebuilds), not just in one batch.
+TEST(EventQueue, EqualTimesFifoAcrossWaves) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 1000; ++i) q.schedule_at(100.0, [&order, i] { order.push_back(i); });
+  q.run_until(50.0);  // force internal state churn before the second wave
+  for (int i = 1000; i < 2000; ++i)
+    q.schedule_at(100.0, [&order, i] { order.push_back(i); });
+  q.run_all();
+  ASSERT_EQ(order.size(), 2000u);
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(order[i], i);
+}
+
+// An event scheduled (from inside a callback) earlier than already-pending
+// events must still fire in exact time order.
+TEST(EventQueue, LateShortDelayInsertKeepsOrder) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 1; i <= 2000; ++i) {
+    const double t = static_cast<double>(i);
+    q.schedule_at(t, [&q, &fired, t] {
+      fired.push_back(t);
+      // Jump the queue: lands between this event and the next integer tick.
+      if (fired.size() == 1) q.schedule_in(0.5, [&fired, t] { fired.push_back(t + 0.5); });
+    });
+  }
+  q.run_all();
+  ASSERT_EQ(fired.size(), 2001u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired[1], 1.5);
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule_at(1.0, [&] { ++fired; });
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.cancel(id));
+}
+
+// A fired/cancelled event's internal storage is recycled; a stale id must
+// not cancel the event that now occupies the same storage.
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  int first = 0;
+  int second = 0;
+  auto id1 = q.schedule_at(1.0, [&] { ++first; });
+  q.run_all();
+  auto id2 = q.schedule_at(2.0, [&] { ++second; });
+  EXPECT_FALSE(q.cancel(id1));  // stale handle
+  q.run_all();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+  EXPECT_TRUE(id1 != id2);
+}
+
+// Cancelling the currently-executing event from its own callback is a no-op.
+TEST(EventQueue, SelfCancelDuringExecutionFails) {
+  EventQueue q;
+  bool cancel_result = true;
+  std::uint64_t id = 0;
+  id = q.schedule_at(1.0, [&] { cancel_result = q.cancel(id); });
+  q.run_all();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(q.events_executed(), 1u);
+}
+
+TEST(EventQueue, MassCancellationDrainsClean) {
+  EventQueue q;
+  int fired = 0;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10000; ++i)
+    ids.push_back(q.schedule_at(static_cast<double>(i % 100), [&] { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  q.run_all();
+  EXPECT_EQ(fired, 5000);
+  EXPECT_EQ(q.events_executed(), 5000u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+// Differential stress test: a mixed schedule/cancel/run workload must replay
+// in exactly the order of a naive reference model (sorted by (time, seq)).
+TEST(EventQueue, DifferentialAgainstReferenceModel) {
+  struct RefEvent {
+    double at;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  EventQueue q;
+  std::vector<RefEvent> ref;
+  std::vector<std::uint64_t> fired;           // seqs in execution order
+  std::vector<std::uint64_t> ids;             // queue ids by ref index
+  std::uint64_t rng = 0x243f6a8885a308d3ull;  // deterministic LCG
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  std::uint64_t seq = 0;
+  double window_start = 0;
+  for (int round = 0; round < 50; ++round) {
+    // Schedule a burst with clustered times (forces equal-time tie-breaks).
+    for (int i = 0; i < 200; ++i) {
+      const double at = window_start + static_cast<double>(next() % 40);
+      const std::uint64_t s = seq++;
+      ids.push_back(q.schedule_at(at, [&fired, s] { fired.push_back(s); }));
+      ref.push_back({at, s});
+    }
+    // Cancel a random half of the still-pending events.
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!ref[i].cancelled && ref[i].at > q.now() && next() % 4 == 0) {
+        const bool ok = q.cancel(ids[i]);
+        if (ok) ref[i].cancelled = true;
+      }
+    }
+    // Advance partway.
+    window_start += 20.0;
+    q.run_until(window_start);
+  }
+  q.run_all();
+
+  std::vector<RefEvent> expected;
+  for (const auto& e : ref)
+    if (!e.cancelled) expected.push_back(e);
+  std::sort(expected.begin(), expected.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(fired[i], expected[i].seq);
 }
 
 }  // namespace

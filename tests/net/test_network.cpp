@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
 #include <vector>
 
 namespace bng::net {
@@ -143,6 +144,53 @@ TEST_F(NetworkTest, ByteAndMessageCounters) {
 TEST_F(NetworkTest, EdgeLatencySymmetricAndStable) {
   EXPECT_DOUBLE_EQ(net_.edge_latency(0, 1), net_.edge_latency(1, 0));
   EXPECT_THROW(net_.edge_latency(0, 2), std::invalid_argument);
+}
+
+// Regression guards for the flat-array (CSR) rewrite ------------------------
+
+// A link must serialize many messages in exact send order, with each
+// transfer starting when the previous one finishes.
+TEST_F(NetworkTest, LinkSerializesLongTrainInOrder) {
+  constexpr int kTrain = 50;
+  for (int i = 0; i < kTrain; ++i) net_.send(0, 1, std::make_shared<TestMessage>(1250, i));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[1].received.size(), static_cast<std::size_t>(kTrain));
+  for (int i = 0; i < kTrain; ++i) {
+    EXPECT_EQ(nodes_[1].received[i].tag, i);
+    // 0.1 s transfer each, serialized, + 0.1 s propagation.
+    EXPECT_NEAR(nodes_[1].received[i].at, 0.1 * (i + 1) + 0.1, 1e-9);
+  }
+}
+
+// peers() must keep Topology's adjacency order — protocol broadcast order
+// (and therefore the whole deterministic replay) depends on it.
+TEST(NetworkStandalone, PeersKeepTopologyOrder) {
+  Rng topo_rng(7);
+  auto topo = Topology::random(50, 5, topo_rng);
+  EventQueue queue;
+  Rng rng(8);
+  Network net(queue, topo, LatencyModel::constant(0.01), LinkParams{1e6, 0}, rng);
+  for (NodeId v = 0; v < topo.num_nodes(); ++v) EXPECT_EQ(net.peers(v), topo.peers(v));
+}
+
+// Every edge of a random topology must resolve, in both directions, with the
+// same latency; non-edges must throw.
+TEST(NetworkStandalone, AllEdgesResolveSymmetrically) {
+  Rng topo_rng(11);
+  auto topo = Topology::random(64, 5, topo_rng);
+  EventQueue queue;
+  Rng rng(12);
+  Network net(queue, topo, LatencyModel::default_internet(), LinkParams{1e6, 0}, rng);
+  for (NodeId a = 0; a < topo.num_nodes(); ++a) {
+    for (NodeId b : topo.peers(a)) {
+      EXPECT_DOUBLE_EQ(net.edge_latency(a, b), net.edge_latency(b, a));
+      EXPECT_GT(net.edge_latency(a, b), 0.0);
+    }
+    for (NodeId b = 0; b < topo.num_nodes(); ++b) {
+      if (b == a || topo.has_edge(a, b)) continue;
+      EXPECT_THROW((void)net.edge_latency(a, b), std::invalid_argument);
+    }
+  }
 }
 
 TEST(NetworkStandalone, UnattachedRecipientThrows) {
