@@ -1,0 +1,222 @@
+// ngsim — sweep orchestration CLI.
+//
+// Runs a registered (or file-loaded) sweep scenario across a worker pool,
+// prints the figure table, and writes aggregate JSON + CSV in the
+// BENCH_core.json spirit: one self-describing machine-readable artifact per
+// sweep. Per-seed digests, metrics, and aggregates (and hence the CSVs) are
+// bit-identical regardless of --jobs; the JSON additionally records the
+// run's jobs count and wall time.
+//
+//   ngsim --list
+//   ngsim --scenario fig7 --seeds 4 --jobs 4 --out results/
+//   ngsim --scenario-file my_sweep.scn --seeds 8
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "runner/emit.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+
+namespace {
+
+using namespace bng;
+
+constexpr const char* kUsage = R"(ngsim — parallel multi-seed sweep runner
+
+Usage: ngsim --scenario NAME [options]
+       ngsim --scenario-file PATH [options]
+       ngsim --list
+
+Options:
+  --scenario NAME       registered scenario to run (see --list)
+  --scenario-file PATH  load a key=value scenario file instead
+  --seeds N             seeds per sweep point                 (default 1)
+  --jobs N              worker threads; 0 = all cores         (default 0)
+  --nodes N             emulated node count                   (default 1000)
+  --blocks N            counted blocks per run                (default 60)
+  --out DIR             write <scenario>.json / .csv here     (default .)
+  --no-table            suppress the human-readable table
+  --list                list registered scenarios and exit
+  --help                this text
+
+Environment fallbacks: REPRO_NODES, REPRO_BLOCKS, REPRO_SEEDS, REPRO_JOBS.
+
+Scenario files (see bench/README.md):
+  name = my_sweep
+  base.protocol = bitcoin          # bitcoin | ng | ghost
+  base.block_interval = 10
+  axis.max_block_size = 10000, 20000, 40000
+)";
+
+void list_scenarios() {
+  std::printf("registered scenarios:\n");
+  for (const auto& [name, description] : runner::list_scenarios())
+    std::printf("  %-24s %s\n", name.c_str(), description.c_str());
+}
+
+bool parse_u32_arg(const char* flag, const char* value, std::uint32_t& out,
+                   std::uint32_t min_value) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "ngsim: %s requires a value\n", flag);
+    return false;
+  }
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min_value || parsed > UINT32_MAX) {
+    std::fprintf(stderr, "ngsim: bad value '%s' for %s\n", value, flag);
+    return false;
+  }
+  out = static_cast<std::uint32_t>(parsed);
+  return true;
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "ngsim: cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name;
+  std::string scenario_file;
+  std::string out_dir = ".";
+  bool print_table = true;
+  runner::RunKnobs knobs{runner::env_u32("REPRO_NODES", 1000),
+                         runner::env_u32("REPRO_BLOCKS", 60)};
+  runner::SweepOptions options;
+  options.seeds = runner::env_u32("REPRO_SEEDS", 1);
+  options.jobs = runner::env_u32("REPRO_JOBS", 0);
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--list") == 0) {
+      list_scenarios();
+      return 0;
+    }
+    if (std::strcmp(arg, "--no-table") == 0) {
+      print_table = false;
+      continue;
+    }
+    if (std::strcmp(arg, "--scenario") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --scenario requires a name\n");
+        return 1;
+      }
+      scenario_name = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--scenario-file") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --scenario-file requires a path\n");
+        return 1;
+      }
+      scenario_file = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--out") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --out requires a directory\n");
+        return 1;
+      }
+      out_dir = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--seeds") == 0) {
+      if (!parse_u32_arg(arg, next, options.seeds, 1)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--jobs") == 0) {
+      if (!parse_u32_arg(arg, next, options.jobs, 0)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--nodes") == 0) {
+      if (!parse_u32_arg(arg, next, knobs.nodes, 2)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--blocks") == 0) {
+      if (!parse_u32_arg(arg, next, knobs.blocks, 1)) return 1;
+      ++i;
+      continue;
+    }
+    std::fprintf(stderr, "ngsim: unknown option '%s'\n\n%s", arg, kUsage);
+    return 1;
+  }
+
+  if (scenario_name.empty() && scenario_file.empty()) {
+    std::fprintf(stderr, "ngsim: one of --scenario / --scenario-file is required\n\n%s",
+                 kUsage);
+    return 1;
+  }
+
+  std::optional<runner::Scenario> scenario;
+  try {
+    if (!scenario_file.empty()) {
+      scenario = runner::load_scenario_file(scenario_file, knobs);
+      if (!scenario_name.empty() && scenario->name != scenario_name) {
+        std::fprintf(stderr, "ngsim: scenario file defines '%s', not '%s'\n",
+                     scenario->name.c_str(), scenario_name.c_str());
+        return 1;
+      }
+    } else {
+      scenario = runner::make_scenario(scenario_name, knobs);
+      if (!scenario) {
+        std::fprintf(stderr, "ngsim: unknown scenario '%s'\n\n", scenario_name.c_str());
+        list_scenarios();
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ngsim: %s\n", e.what());
+    return 1;
+  }
+
+  try {
+    const runner::SweepResult result = runner::run_sweep(*scenario, options);
+    if (print_table) {
+      // Report the scenario's effective base scale, not the requested knobs:
+      // scenarios may clamp or fix their size (smoke, the attack ablations).
+      std::printf("== %s ==\n%s\nnodes=%u blocks=%u\n\n", result.scenario.c_str(),
+                  result.description.c_str(), scenario->base.num_nodes,
+                  scenario->base.target_blocks);
+      runner::print_table(result);
+    }
+
+    std::filesystem::create_directories(out_dir);
+    const std::filesystem::path dir(out_dir);
+    const auto json_path = dir / (result.scenario + ".json");
+    const auto agg_path = dir / (result.scenario + "_aggregate.csv");
+    const auto seeds_path = dir / (result.scenario + "_seeds.csv");
+    if (!write_file(json_path, runner::to_json(result)) ||
+        !write_file(agg_path, runner::aggregate_csv(result)) ||
+        !write_file(seeds_path, runner::seeds_csv(result)))
+      return 1;
+    std::printf("\nwrote %s, %s, %s\n", json_path.string().c_str(),
+                agg_path.string().c_str(), seeds_path.string().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ngsim: sweep failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -3,7 +3,9 @@
 // The paper implemented GHOST with all-block propagation and found the
 // overhead outweighed the fork-choice benefit. We compare the three
 // protocols at a fork-heavy operating point and report the security metrics
-// plus network cost.
+// plus network cost (the per-seed "network_mb" metric in the sweep output).
+//
+// Thin wrapper over the registered "ablation_ghost" scenario (src/runner/).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -12,61 +14,14 @@ int main() {
   using namespace bng;
   bench::print_header("Ablation: GHOST vs Bitcoin vs NG at high contention");
 
-  const double interval = 5.0;       // aggressive PoW rate
-  const std::size_t size = 20'000;   // sizeable blocks: propagation matters
+  const auto result = bench::run_registered("ablation_ghost");
 
-  bench::print_metric_row_header();
-  std::uint64_t bytes[3] = {0, 0, 0};
-  int row = 0;
-  for (auto protocol : {chain::Protocol::kBitcoin, chain::Protocol::kGhost,
-                        chain::Protocol::kBitcoinNG}) {
-    const char* name = protocol == chain::Protocol::kBitcoin  ? "bitcoin"
-                       : protocol == chain::Protocol::kGhost  ? "ghost"
-                                                              : "ng";
-    std::uint64_t total_bytes = 0;
-    auto p = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = protocol == chain::Protocol::kBitcoinNG ? chain::Params::bitcoin_ng()
-                                                           : chain::Params::bitcoin();
-      cfg.params.protocol = protocol;
-      cfg.params.block_interval =
-          protocol == chain::Protocol::kBitcoinNG ? 100.0 : interval;
-      cfg.params.microblock_interval = interval;
-      cfg.params.max_block_size = size;
-      cfg.params.max_microblock_size = size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8500 + seed;
-      return cfg;
-    });
-    // Network cost needs its own run (run_point does not expose the network).
-    {
-      sim::ExperimentConfig cfg;
-      cfg.params = protocol == chain::Protocol::kBitcoinNG ? chain::Params::bitcoin_ng()
-                                                           : chain::Params::bitcoin();
-      cfg.params.protocol = protocol;
-      cfg.params.block_interval =
-          protocol == chain::Protocol::kBitcoinNG ? 100.0 : interval;
-      cfg.params.microblock_interval = interval;
-      cfg.params.max_block_size = size;
-      cfg.params.max_microblock_size = size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8501;
-      sim::Experiment exp(cfg);
-      exp.run();
-      total_bytes = exp.network().bytes_sent();
-    }
-    char label[32];
-    std::snprintf(label, sizeof label, "%.0fs/%zuB", interval, size);
-    bench::print_metric_row(name, label, p);
-    bytes[row++] = total_bytes;
-  }
+  std::printf("\nnetwork cost:");
+  for (const auto& point : result.points)
+    std::printf(" %s=%.1f MB", runner::point_label(point).c_str(),
+                runner::aggregate_mean(point, "network_mb"));
+  std::printf("\n");
 
-  std::printf("\nnetwork cost: bitcoin=%.1f MB  ghost=%.1f MB  ng=%.1f MB\n",
-              bytes[0] / 1e6, bytes[1] / 1e6, bytes[2] / 1e6);
   std::printf(
       "expected: GHOST improves MPU over Bitcoin by counting pruned subtree\n"
       "work, at higher network cost (it relays all branches); NG dominates\n"

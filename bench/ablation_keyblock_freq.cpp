@@ -4,6 +4,8 @@
 // utilization decrease and time to prune increase ... key block forks" —
 // rare but long-lived when key-block intervals are long. This sweep holds
 // the microblock cadence fixed and varies only the key-block interval.
+//
+// Thin wrapper over the registered "ablation_keyblock_freq" scenario.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -12,25 +14,7 @@ int main() {
   using namespace bng;
   bench::print_header("Ablation: NG key-block interval at fixed microblock cadence (10s)");
 
-  bench::print_metric_row_header();
-  for (double key_interval : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    auto p = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin_ng();
-      cfg.params.block_interval = key_interval;
-      cfg.params.microblock_interval = 10.0;
-      cfg.params.max_microblock_size =
-          static_cast<std::size_t>(10.0 * bench::kPayloadBytesPerSecond);
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8300 + seed;
-      return cfg;
-    });
-    char label[32];
-    std::snprintf(label, sizeof label, "%.0fs", key_interval);
-    bench::print_metric_row("ng", label, p);
-  }
+  bench::run_registered("ablation_keyblock_freq");
 
   std::printf(
       "\nexpected: short key intervals raise contention (more key-block forks,\n"

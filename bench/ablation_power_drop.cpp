@@ -5,74 +5,31 @@
 // Bitcoin-NG keeps serializing transactions in microblocks at an unchanged
 // cadence — the core liveness claim of §5.2. For contrast, the same drop is
 // applied to Bitcoin, where transaction processing stalls with the blocks.
+//
+// Thin wrapper over the registered "ablation_power_drop" scenario, whose
+// custom run hook drives the two phases and reports per-phase rates.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "sim/miner_distribution.hpp"
-
-namespace {
-
-struct Phase {
-  double blocks_per_min = 0;
-  double txs_per_min = 0;
-};
-
-/// Runs `protocol` with a 90% power drop at t=T/2; returns per-phase rates.
-std::pair<Phase, Phase> run_drop(bng::chain::Protocol protocol, std::uint64_t seed) {
-  using namespace bng;
-  sim::ExperimentConfig cfg;
-  cfg.params = protocol == chain::Protocol::kBitcoinNG ? chain::Params::bitcoin_ng()
-                                                       : chain::Params::bitcoin();
-  cfg.params.block_interval = 30;
-  cfg.params.microblock_interval = 5;
-  cfg.params.max_block_size = 8000;
-  cfg.params.max_microblock_size = 8000;
-  cfg.num_nodes = std::min(bench::nodes(), 200u);
-  cfg.tx_size = bench::kTxSize;
-  cfg.target_blocks = 1'000'000;  // stop by time, not count
-  cfg.retarget = chain::RetargetRule{50, 30.0, 4.0};
-  cfg.seed = seed;
-
-  sim::Experiment exp(cfg);
-  exp.build();
-  exp.scheduler().start();
-
-  const Seconds phase_len = 1800;
-  exp.queue().run_until(phase_len);
-  const auto pow_1 = exp.trace().pow_blocks();
-  const auto tx_1 = exp.global_tree().best_entry().chain_tx_count;
-
-  // 90% of hash power leaves (paper: miners flee to another chain).
-  const auto& powers = exp.powers();
-  for (std::uint32_t i = 0; i < cfg.num_nodes; ++i)
-    exp.scheduler().set_power(i, powers[i] * 0.1);
-
-  exp.queue().run_until(2 * phase_len);
-  exp.scheduler().stop();
-  const auto pow_2 = exp.trace().pow_blocks() - pow_1;
-  const auto tx_2 = exp.global_tree().best_entry().chain_tx_count - tx_1;
-
-  const double mins = phase_len / 60.0;
-  return {{pow_1 / mins, static_cast<double>(tx_1) / mins},
-          {pow_2 / mins, static_cast<double>(tx_2) / mins}};
-}
-
-}  // namespace
 
 int main() {
   using namespace bng;
   bench::print_header("Ablation: 90% mining-power drop after retarget (paper §5.2)");
 
-  std::printf("%-10s | %-28s | %-28s\n", "", "before drop", "after drop");
+  const auto result = bench::run_registered("ablation_power_drop");
+
+  std::printf("\n%-10s | %-28s | %-28s\n", "", "before drop", "after drop");
   std::printf("%-10s | %13s %14s | %13s %14s\n", "protocol", "PoW blk/min", "txs/min",
               "PoW blk/min", "txs/min");
-  for (auto protocol : {chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG}) {
-    auto [before, after] = run_drop(protocol, 8400);
+  for (const auto& point : result.points) {
     std::printf("%-10s | %13.2f %14.1f | %13.2f %14.1f\n",
-                protocol == chain::Protocol::kBitcoin ? "bitcoin" : "ng",
-                before.blocks_per_min, before.txs_per_min, after.blocks_per_min,
-                after.txs_per_min);
+                runner::point_label(point).c_str(),
+                runner::aggregate_mean(point, "pow_per_min_before"),
+                runner::aggregate_mean(point, "txs_per_min_before"),
+                runner::aggregate_mean(point, "pow_per_min_after"),
+                runner::aggregate_mean(point, "txs_per_min_after"));
   }
+
   std::printf(
       "\nexpected: PoW block rate collapses ~10x for both protocols until\n"
       "retargets catch up; Bitcoin's txs/min collapses with it, while NG's\n"

@@ -6,59 +6,25 @@
 // tie-breaking (gamma ~= 0.5). This sweep runs the SM1 attacker against an
 // honest Bitcoin network and reports its main-chain revenue share: the
 // crossover where revenue exceeds the power share should sit near 25%.
+//
+// Thin wrapper over the registered "ablation_selfish_mining" scenario.
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "bitcoin/selfish_miner.hpp"
 
 int main() {
   using namespace bng;
   bench::print_header("Ablation: selfish mining (SM1) revenue vs attacker power");
 
-  const std::uint32_t n = std::min(bench::nodes(), 100u);
-  const std::uint32_t target = std::max(bench::blocks() * 5, 300u);
-  std::printf("%-8s %14s %14s %10s\n", "alpha", "revenue share", "advantage",
-              "abandoned");
+  const auto result = bench::run_registered("ablation_selfish_mining");
 
-  for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
-    double revenue_sum = 0;
-    std::uint64_t abandoned = 0;
-    for (std::uint32_t seed = 1; seed <= bench::seeds(); ++seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin();
-      cfg.params.block_interval = 10;
-      cfg.params.max_block_size = 4000;
-      cfg.num_nodes = n;
-      cfg.target_blocks = target;
-      cfg.drain_time = 60;
-      cfg.seed = 8600 + seed;
-      std::vector<double> powers(n, (1.0 - alpha) / (n - 1));
-      powers[0] = alpha;
-      cfg.custom_powers = powers;
-      cfg.node_factory = [](NodeId id, net::Network& net, chain::BlockPtr genesis,
-                            const protocol::NodeConfig& ncfg, Rng rng,
-                            protocol::IBlockObserver* obs)
-          -> std::unique_ptr<protocol::BaseNode> {
-        if (id != 0) return nullptr;
-        return std::make_unique<bitcoin::SelfishMiner>(id, net, std::move(genesis), ncfg,
-                                                       rng, obs);
-      };
-      sim::Experiment exp(cfg);
-      exp.run();
-      const auto& g = exp.global_tree();
-      std::uint32_t attacker_main = 0, total_main = 0;
-      for (std::uint32_t idx : g.path_from_genesis(g.best_tip())) {
-        if (idx == chain::BlockTree::kGenesisIndex) continue;
-        ++total_main;
-        if (g.entry(idx).block->miner() == 0) ++attacker_main;
-      }
-      revenue_sum += total_main > 0 ? static_cast<double>(attacker_main) / total_main : 0;
-      abandoned +=
-          static_cast<const bitcoin::SelfishMiner&>(*exp.nodes()[0]).branches_abandoned();
-    }
-    const double revenue = revenue_sum / bench::seeds();
-    std::printf("%-8.2f %13.1f%% %+13.1f%% %10llu\n", alpha, 100 * revenue,
-                100 * (revenue - alpha), static_cast<unsigned long long>(abandoned));
+  std::printf("\n%-8s %14s %14s %10s\n", "alpha", "revenue share", "advantage",
+              "abandoned");
+  for (const auto& point : result.points) {
+    std::printf("%-8.2f %13.1f%% %+13.1f%% %10.1f\n", point.x,
+                100 * runner::aggregate_mean(point, "revenue_share"),
+                100 * runner::aggregate_mean(point, "advantage"),
+                runner::aggregate_mean(point, "branches_abandoned"));
   }
 
   std::printf(

@@ -1,76 +1,38 @@
 // Shared plumbing for the figure-reproduction harnesses.
 //
+// The figures are registered as declarative scenarios (src/runner/); each
+// binary is a thin wrapper that instantiates its scenario at the scale the
+// environment asks for and hands it to the parallel sweep engine.
+//
 // Scale knobs (environment variables):
 //   REPRO_NODES  - node count            (default 1000, the paper's scale)
 //   REPRO_BLOCKS - counted blocks / run  (default 60; paper runs 50-100)
 //   REPRO_SEEDS  - seeds per data point  (default 1)
+//   REPRO_JOBS   - worker threads        (default 0 = all cores)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
-#include <vector>
 
-#include "common/stats.hpp"
-#include "metrics/metrics.hpp"
-#include "sim/experiment.hpp"
+#include "runner/emit.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
 
 namespace bng::bench {
 
-inline std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  auto parsed = std::strtoul(v, nullptr, 10);
-  return parsed > 0 ? static_cast<std::uint32_t>(parsed) : fallback;
-}
+inline std::uint32_t nodes() { return runner::env_u32("REPRO_NODES", 1000); }
+inline std::uint32_t blocks() { return runner::env_u32("REPRO_BLOCKS", 60); }
+inline std::uint32_t seeds() { return runner::env_u32("REPRO_SEEDS", 1); }
 
-inline std::uint32_t nodes() { return env_u32("REPRO_NODES", 1000); }
-inline std::uint32_t blocks() { return env_u32("REPRO_BLOCKS", 60); }
-inline std::uint32_t seeds() { return env_u32("REPRO_SEEDS", 1); }
+inline runner::RunKnobs knobs() { return {nodes(), blocks()}; }
 
-/// Paper §7: operational Bitcoin payload = 1 MB / 600 s.
-inline constexpr double kPayloadBytesPerSecond = 1'000'000.0 / 600.0;
-/// Identical-size transactions (~3.5 tx/s at the operational payload rate).
-inline constexpr std::size_t kTxSize = 476;
-
-/// Metric means across seeds for one sweep point.
-struct Point {
-  double consensus_delay = 0;
-  double fairness = 0;
-  double mpu = 0;
-  double time_to_prune = 0;
-  double time_to_win = 0;
-  double tx_per_sec = 0;
-  std::uint32_t total_pow = 0;
-  std::uint32_t main_pow = 0;
-};
-
-/// Run `seeds()` experiments from `make_config(seed)` and average metrics.
-template <typename MakeConfig>
-Point run_point(MakeConfig make_config) {
-  Point p;
-  const std::uint32_t n = seeds();
-  for (std::uint32_t s = 1; s <= n; ++s) {
-    sim::Experiment exp(make_config(s));
-    exp.run();
-    auto m = metrics::compute_metrics(exp);
-    p.consensus_delay += m.consensus_delay_s;
-    p.fairness += m.fairness;
-    p.mpu += m.mining_power_utilization;
-    p.time_to_prune += m.time_to_prune_p90_s;
-    p.time_to_win += m.time_to_win_p90_s;
-    p.tx_per_sec += m.tx_per_sec;
-    p.total_pow += m.total_pow_blocks;
-    p.main_pow += m.main_chain_pow_blocks;
-  }
-  const double d = n;
-  p.consensus_delay /= d;
-  p.fairness /= d;
-  p.mpu /= d;
-  p.time_to_prune /= d;
-  p.time_to_win /= d;
-  p.tx_per_sec /= d;
-  return p;
+inline runner::SweepOptions sweep_options() {
+  runner::SweepOptions opt;
+  opt.seeds = seeds();
+  opt.jobs = runner::env_u32("REPRO_JOBS", 0);
+  return opt;
 }
 
 inline void print_header(const char* title) {
@@ -78,15 +40,13 @@ inline void print_header(const char* title) {
   std::printf("nodes=%u counted-blocks=%u seeds=%u\n\n", nodes(), blocks(), seeds());
 }
 
-inline void print_metric_row_header() {
-  std::printf("%-10s %-9s | %9s %9s %8s %8s %9s %8s | %s\n", "protocol", "x", "ttp[s]",
-              "ttw[s]", "mpu", "fairness", "consl[s]", "tx/s", "blocks(main/total)");
-}
-
-inline void print_metric_row(const char* protocol, const std::string& x, const Point& p) {
-  std::printf("%-10s %-9s | %9.2f %9.2f %8.3f %8.3f %9.2f %8.2f | %u/%u\n", protocol,
-              x.c_str(), p.time_to_prune, p.time_to_win, p.mpu, p.fairness,
-              p.consensus_delay, p.tx_per_sec, p.main_pow, p.total_pow);
+/// Instantiate + run a registered scenario at env scale and print the table.
+inline runner::SweepResult run_registered(const char* name) {
+  auto scenario = runner::make_scenario(name, knobs());
+  if (!scenario) throw std::runtime_error(std::string("unregistered scenario: ") + name);
+  runner::SweepResult result = runner::run_sweep(*scenario, sweep_options());
+  runner::print_table(result);
+  return result;
 }
 
 }  // namespace bng::bench

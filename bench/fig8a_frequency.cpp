@@ -6,6 +6,8 @@
 // throughput equals the operational system (1 MB / 600 s). Six panels:
 // time to prune, time to win, mining power utilization, fairness,
 // consensus latency, transaction frequency.
+//
+// Thin wrapper over the registered "fig8a" scenario (src/runner/).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -15,44 +17,7 @@ int main() {
   bench::print_header(
       "Figure 8(a): frequency sweep at constant payload throughput (1MB/600s)");
 
-  const std::vector<double> frequencies = {0.01, 0.033, 0.1, 0.33, 1.0};  // [1/s]
-  bench::print_metric_row_header();
-
-  for (double freq : frequencies) {
-    const auto block_size =
-        static_cast<std::size_t>(bench::kPayloadBytesPerSecond / freq);
-    char label[32];
-    std::snprintf(label, sizeof label, "%.3f/s", freq);
-
-    // --- Bitcoin: block interval = 1/freq --------------------------------
-    auto btc = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin();
-      cfg.params.block_interval = 1.0 / freq;
-      cfg.params.max_block_size = block_size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8100 + seed;
-      return cfg;
-    });
-    bench::print_metric_row("bitcoin", label, btc);
-
-    // --- Bitcoin-NG: key blocks 1/100s, microblock interval = 1/freq -----
-    auto ng = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin_ng();
-      cfg.params.block_interval = 100.0;
-      cfg.params.microblock_interval = 1.0 / freq;
-      cfg.params.max_microblock_size = block_size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8150 + seed;
-      return cfg;
-    });
-    bench::print_metric_row("ng", label, ng);
-  }
+  bench::run_registered("fig8a");
 
   std::printf(
       "\nexpected shapes (paper Fig 8a): as frequency rises, Bitcoin's MPU falls\n"

@@ -5,48 +5,18 @@
 // with size, costing mining power (down to ~"80% loss" at the top of the
 // paper's range) and fairness; NG degrades only in latency metrics as nodes
 // approach their processing capacity.
+//
+// Thin wrapper over the registered "fig8b" scenario (src/runner/).
 #include <cstdio>
 
 #include "bench_common.hpp"
 
 int main() {
   using namespace bng;
-  bench::print_header("Figure 8(b): block-size sweep (Bitcoin 1/10s; NG micro 1/10s, key 1/100s)");
+  bench::print_header(
+      "Figure 8(b): block-size sweep (Bitcoin 1/10s; NG micro 1/10s, key 1/100s)");
 
-  const std::vector<std::size_t> sizes = {1280, 2500, 5000, 10'000, 20'000, 40'000, 80'000};
-  bench::print_metric_row_header();
-
-  for (std::size_t size : sizes) {
-    char label[32];
-    std::snprintf(label, sizeof label, "%zuB", size);
-
-    auto btc = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin();
-      cfg.params.block_interval = 10.0;
-      cfg.params.max_block_size = size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8200 + seed;
-      return cfg;
-    });
-    bench::print_metric_row("bitcoin", label, btc);
-
-    auto ng = bench::run_point([&](std::uint32_t seed) {
-      sim::ExperimentConfig cfg;
-      cfg.params = chain::Params::bitcoin_ng();
-      cfg.params.block_interval = 100.0;
-      cfg.params.microblock_interval = 10.0;
-      cfg.params.max_microblock_size = size;
-      cfg.num_nodes = bench::nodes();
-      cfg.tx_size = bench::kTxSize;
-      cfg.target_blocks = bench::blocks();
-      cfg.seed = 8250 + seed;
-      return cfg;
-    });
-    bench::print_metric_row("ng", label, ng);
-  }
+  bench::run_registered("fig8b");
 
   std::printf(
       "\nexpected shapes (paper Fig 8b): tx/s grows with size for both; Bitcoin's\n"

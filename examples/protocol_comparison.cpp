@@ -4,20 +4,16 @@
 // Both protocols are configured to carry the same payload rate; Bitcoin
 // must use fast blocks to do it, Bitcoin-NG uses rare key blocks plus fast
 // microblocks. The security metrics diverge exactly as the paper predicts.
+//
+// Also a miniature of the sweep-orchestration API (src/runner/): the
+// comparison is a declarative Scenario — a base config plus one protocol
+// axis — handed to the parallel multi-seed engine, which averages the seeds
+// and prints the aggregate table.
 #include <cstdio>
 
-#include "metrics/metrics.hpp"
-#include "sim/experiment.hpp"
-
-namespace {
-
-void report(const char* name, const bng::metrics::MetricsReport& m) {
-  std::printf("%-12s | %9.2f %9.2f %8.3f %8.3f %9.2f %8.2f\n", name,
-              m.time_to_prune_p90_s, m.time_to_win_p90_s, m.mining_power_utilization,
-              m.fairness, m.consensus_delay_s, m.tx_per_sec);
-}
-
-}  // namespace
+#include "runner/emit.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
 
 int main() {
   using namespace bng;
@@ -28,34 +24,34 @@ int main() {
 
   std::printf("comparing at %.1f blocks/s, %zu-byte blocks, %u nodes\n\n", freq, size,
               kNodes);
-  std::printf("%-12s | %9s %9s %8s %8s %9s %8s\n", "protocol", "ttp[s]", "ttw[s]", "mpu",
-              "fairness", "consl[s]", "tx/s");
 
-  {
-    sim::ExperimentConfig cfg;
-    cfg.params = chain::Params::bitcoin();
-    cfg.params.block_interval = 1.0 / freq;
-    cfg.params.max_block_size = size;
-    cfg.num_nodes = kNodes;
-    cfg.target_blocks = 60;
-    cfg.seed = 1;
-    sim::Experiment exp(cfg);
-    exp.run();
-    report("bitcoin", metrics::compute_metrics(exp));
-  }
-  {
-    sim::ExperimentConfig cfg;
-    cfg.params = chain::Params::bitcoin_ng();
-    cfg.params.block_interval = 100.0;  // key blocks stay rare
-    cfg.params.microblock_interval = 1.0 / freq;
-    cfg.params.max_microblock_size = size;
-    cfg.num_nodes = kNodes;
-    cfg.target_blocks = 60;
-    cfg.seed = 1;
-    sim::Experiment exp(cfg);
-    exp.run();
-    report("bitcoin-ng", metrics::compute_metrics(exp));
-  }
+  runner::Scenario comparison;
+  comparison.name = "protocol_comparison";
+  comparison.description = "Bitcoin vs Bitcoin-NG at matched payload throughput";
+  comparison.seed_base = 1;
+  comparison.base.num_nodes = kNodes;
+  comparison.base.target_blocks = 60;
+
+  runner::Axis protocols{"protocol", {}};
+  protocols.values.push_back(
+      {"bitcoin", 0, [freq, size](sim::ExperimentConfig& cfg) {
+         cfg.params = chain::Params::bitcoin();
+         cfg.params.block_interval = 1.0 / freq;
+         cfg.params.max_block_size = size;
+       }});
+  protocols.values.push_back(
+      {"bitcoin-ng", 0, [freq, size](sim::ExperimentConfig& cfg) {
+         cfg.params = chain::Params::bitcoin_ng();
+         cfg.params.block_interval = 100.0;  // key blocks stay rare
+         cfg.params.microblock_interval = 1.0 / freq;
+         cfg.params.max_microblock_size = size;
+       }});
+  comparison.axes.push_back(std::move(protocols));
+
+  runner::SweepOptions options;
+  options.seeds = 2;
+  options.jobs = 0;  // all cores; results are identical for any job count
+  runner::print_table(runner::run_sweep(comparison, options));
 
   std::printf(
       "\nreading the table (paper §8): pushing Bitcoin to this rate costs mining\n"

@@ -7,9 +7,10 @@
 // no heap allocation at all.
 //
 // Single-threaded by design, like the rest of the simulation core: the
-// freelists are unsynchronized globals. Memory is bounded by the peak number
-// of simultaneously live objects per size class and is returned to the OS at
-// process exit.
+// freelists are unsynchronized thread-locals. Memory is bounded by the peak
+// number of simultaneously live objects per size class and is reclaimed at
+// thread exit (the sweep engine spawns workers per run_sweep call, so
+// freelists must not outlive their thread) or process exit.
 #pragma once
 
 #include <cstddef>
@@ -32,19 +33,35 @@ struct FreeList {
     Node* next;
     alignas(Align) unsigned char storage[Size];
   };
-  static inline thread_local Node* head_ = nullptr;
+
+  /// The list head, wrapped so thread exit frees the chain: sweep worker
+  /// threads are joined after every run_sweep call, and a trivially
+  /// destructible thread_local would strand their recycled blocks. The
+  /// non-trivial destructor costs one initialization-guard branch per
+  /// access — predictable and cheap next to the freed malloc round-trip.
+  struct Chain {
+    Node* head = nullptr;
+    ~Chain() {
+      while (head != nullptr) {
+        Node* n = head;
+        head = n->next;
+        ::operator delete(n, std::align_val_t{alignof(Node)});
+      }
+    }
+  };
+  static inline thread_local Chain chain_;
 
   static void* pop() {
-    if (head_ == nullptr) return nullptr;
-    Node* n = head_;
-    head_ = n->next;
+    Node* n = chain_.head;
+    if (n == nullptr) return nullptr;
+    chain_.head = n->next;
     return n;
   }
 
   static void push(void* p) {
     Node* n = static_cast<Node*>(p);
-    n->next = head_;
-    head_ = n;
+    n->next = chain_.head;
+    chain_.head = n;
   }
 
   static void* allocate() {

@@ -1,0 +1,43 @@
+#include "runner/aggregate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace bng::runner {
+
+MetricAggregate aggregate(std::vector<double> samples) {
+  MetricAggregate a;
+  a.n = samples.size();
+  if (samples.empty()) return a;
+  a.mean = bng::mean(samples);
+  a.stddev = bng::stddev(samples);
+  auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  a.min = *lo;
+  a.max = *hi;
+  a.p50 = percentile(samples, 50);
+  a.p90 = percentile(samples, 90);
+  return a;
+}
+
+std::vector<std::pair<std::string, MetricAggregate>> aggregate_records(
+    const std::vector<NamedValues>& records) {
+  std::vector<std::pair<std::string, MetricAggregate>> out;
+  if (records.empty()) return out;
+  const NamedValues& first = records.front();
+  out.reserve(first.size());
+  for (std::size_t m = 0; m < first.size(); ++m) {
+    std::vector<double> samples;
+    samples.reserve(records.size());
+    for (const NamedValues& r : records) {
+      if (r.size() != first.size() || r[m].first != first[m].first)
+        throw std::invalid_argument("aggregate_records: per-seed metric keys differ");
+      samples.push_back(r[m].second);
+    }
+    out.emplace_back(first[m].first, aggregate(std::move(samples)));
+  }
+  return out;
+}
+
+}  // namespace bng::runner

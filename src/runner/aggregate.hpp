@@ -1,0 +1,33 @@
+// Aggregation layer: fold per-seed metric samples into summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bng::runner {
+
+/// Summary of one metric over the seeds of a sweep point.
+struct MetricAggregate {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1); 0 for n < 2
+  double min = 0;
+  double max = 0;
+  double p50 = 0;  ///< linear-interpolated percentiles
+  double p90 = 0;
+};
+
+MetricAggregate aggregate(std::vector<double> samples);
+
+/// Ordered (name, value) pairs — the per-seed flat metric record. Ordered so
+/// emitters print columns in a stable, registration-defined order.
+using NamedValues = std::vector<std::pair<std::string, double>>;
+
+/// Fold per-seed records (all with the same keys, in the same order) into
+/// per-metric aggregates. Throws std::invalid_argument if keys mismatch.
+std::vector<std::pair<std::string, MetricAggregate>> aggregate_records(
+    const std::vector<NamedValues>& records);
+
+}  // namespace bng::runner

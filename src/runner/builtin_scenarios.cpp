@@ -1,0 +1,378 @@
+// Built-in scenario registrations: the paper's figures (§7-§8) and the
+// ablations, expressed as declarative sweeps for the runner engine. The
+// bench/fig*.cpp binaries and the ngsim CLI both run these.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bitcoin/selfish_miner.hpp"
+#include "chain/block_tree.hpp"
+#include "common/stats.hpp"
+#include "metrics/metrics.hpp"
+#include "runner/scenario.hpp"
+#include "sim/miner_distribution.hpp"
+
+namespace bng::runner {
+
+namespace {
+
+std::string fmt(const char* pattern, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, pattern, v);
+  return buf;
+}
+
+Axis protocol_axis(std::vector<chain::Protocol> protocols) {
+  Axis axis{"protocol", {}};
+  for (chain::Protocol proto : protocols) {
+    const char* name = proto == chain::Protocol::kBitcoin ? "bitcoin"
+                       : proto == chain::Protocol::kGhost ? "ghost"
+                                                          : "ng";
+    axis.values.push_back(AxisValue{name, 0, [proto](sim::ExperimentConfig& cfg) {
+                                      const auto keep = cfg.params;
+                                      cfg.params = proto == chain::Protocol::kBitcoinNG
+                                                       ? chain::Params::bitcoin_ng()
+                                                       : chain::Params::bitcoin();
+                                      cfg.params.protocol = proto;
+                                      // Carry the scenario's shared knobs over the preset.
+                                      cfg.params.max_block_size = keep.max_block_size;
+                                      cfg.params.max_microblock_size = keep.max_microblock_size;
+                                    }});
+  }
+  return axis;
+}
+
+sim::ExperimentConfig paper_base(const RunKnobs& knobs) {
+  sim::ExperimentConfig cfg;
+  cfg.num_nodes = knobs.nodes;
+  cfg.tx_size = kTxSize;
+  cfg.target_blocks = knobs.blocks;
+  return cfg;
+}
+
+// --- fig6: miner-population skew --------------------------------------------
+// The figure itself is the analytic weekly-rank fit (bench/fig6_mining_power
+// keeps that part: it needs no simulation); the registered sweep runs the
+// consequence of the skew — fairness/MPU as the population exponent varies
+// around the paper's fitted -0.27.
+Scenario make_fig6(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "fig6";
+  s.description = "fairness/MPU vs miner-population skew exp(k*rank), paper fit k=-0.27";
+  s.seed_base = 600;
+  s.base = paper_base(knobs);
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.block_interval = 10.0;
+  s.base.params.max_block_size = 20'000;
+  Axis axis{"power_exponent", {}};
+  for (double k : {-0.10, -0.20, -0.27, -0.40}) {
+    axis.values.push_back(AxisValue{fmt("k=%.2f", k), k, [k](sim::ExperimentConfig& cfg) {
+                                      cfg.power_exponent = k;
+                                    }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+// --- fig7: propagation latency vs block size ---------------------------------
+Scenario make_fig7(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "fig7";
+  s.description =
+      "block propagation latency vs block size at constant payload load (Bitcoin)";
+  s.seed_base = 700;
+  s.base = paper_base(knobs);
+  s.base.params = chain::Params::bitcoin();
+  s.base.target_blocks = std::max(20u, knobs.blocks / 2);
+  Axis axis{"block_size", {}};
+  for (std::size_t size : {20'000, 40'000, 60'000, 80'000, 100'000}) {
+    axis.values.push_back(AxisValue{
+        fmt("%.0fB", static_cast<double>(size)), static_cast<double>(size),
+        [size](sim::ExperimentConfig& cfg) {
+          cfg.params.max_block_size = size;
+          // Constant payload load: bigger blocks arrive proportionally rarer.
+          cfg.params.block_interval = static_cast<double>(size) / kPayloadBytesPerSecond;
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    auto delays = metrics::propagation_delays(exp);
+    v.emplace_back("prop_p25_s", percentile(delays, 25));
+    v.emplace_back("prop_p50_s", percentile(delays, 50));
+    v.emplace_back("prop_p75_s", percentile(delays, 75));
+  };
+  return s;
+}
+
+// --- fig8a: frequency sweep at constant payload throughput -------------------
+Scenario make_fig8a(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "fig8a";
+  s.description =
+      "security metrics vs block frequency at constant payload throughput (1MB/600s)";
+  s.seed_base = 8100;
+  s.base = paper_base(knobs);
+  s.axes.push_back(
+      protocol_axis({chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG}));
+  Axis axis{"frequency", {}};
+  for (double freq : {0.01, 0.033, 0.1, 0.33, 1.0}) {
+    const auto block_size = static_cast<std::size_t>(kPayloadBytesPerSecond / freq);
+    axis.values.push_back(AxisValue{
+        fmt("%.3f/s", freq), freq, [freq, block_size](sim::ExperimentConfig& cfg) {
+          if (cfg.params.protocol == chain::Protocol::kBitcoinNG) {
+            // Key blocks stay rare; the microblock plane carries the sweep.
+            cfg.params.block_interval = 100.0;
+            cfg.params.microblock_interval = 1.0 / freq;
+            cfg.params.max_microblock_size = block_size;
+          } else {
+            cfg.params.block_interval = 1.0 / freq;
+            cfg.params.max_block_size = block_size;
+          }
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+// --- fig8b: block-size sweep at high frequency -------------------------------
+Scenario make_fig8b(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "fig8b";
+  s.description =
+      "security metrics vs block size (Bitcoin 1/10s; NG micro 1/10s, key 1/100s)";
+  s.seed_base = 8200;
+  s.base = paper_base(knobs);
+  s.axes.push_back(
+      protocol_axis({chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG}));
+  Axis axis{"block_size", {}};
+  for (std::size_t size : {1280, 2500, 5000, 10'000, 20'000, 40'000, 80'000}) {
+    axis.values.push_back(AxisValue{
+        fmt("%.0fB", static_cast<double>(size)), static_cast<double>(size),
+        [size](sim::ExperimentConfig& cfg) {
+          if (cfg.params.protocol == chain::Protocol::kBitcoinNG) {
+            cfg.params.block_interval = 100.0;
+            cfg.params.microblock_interval = 10.0;
+            cfg.params.max_microblock_size = size;
+          } else {
+            cfg.params.block_interval = 10.0;
+            cfg.params.max_block_size = size;
+          }
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+// --- ablation: GHOST vs Bitcoin vs NG at high contention ---------------------
+Scenario make_ablation_ghost(const RunKnobs& knobs) {
+  constexpr double kInterval = 5.0;
+  constexpr std::size_t kSize = 20'000;
+  Scenario s;
+  s.name = "ablation_ghost";
+  s.description = "GHOST vs Bitcoin vs NG at a fork-heavy operating point (paper §9)";
+  s.seed_base = 8500;
+  s.base = paper_base(knobs);
+  s.base.params.max_block_size = kSize;
+  s.base.params.max_microblock_size = kSize;
+  Axis axis = protocol_axis(
+      {chain::Protocol::kBitcoin, chain::Protocol::kGhost, chain::Protocol::kBitcoinNG});
+  for (AxisValue& v : axis.values) {
+    ConfigDelta inner = std::move(v.apply);
+    v.apply = [inner](sim::ExperimentConfig& cfg) {
+      inner(cfg);
+      cfg.params.block_interval =
+          cfg.params.protocol == chain::Protocol::kBitcoinNG ? 100.0 : kInterval;
+      cfg.params.microblock_interval = kInterval;
+    };
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    // GHOST's all-branch relay is only honest if its network bill is shown.
+    v.emplace_back("network_mb", exp.network().bytes_sent() / 1e6);
+  };
+  return s;
+}
+
+// --- ablation: NG key-block interval -----------------------------------------
+Scenario make_ablation_keyblock(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "ablation_keyblock_freq";
+  s.description = "NG key-block interval sweep at fixed 10s microblock cadence (§8.1)";
+  s.seed_base = 8300;
+  s.base = paper_base(knobs);
+  s.base.params = chain::Params::bitcoin_ng();
+  s.base.params.microblock_interval = 10.0;
+  s.base.params.max_microblock_size =
+      static_cast<std::size_t>(10.0 * kPayloadBytesPerSecond);
+  Axis axis{"key_interval", {}};
+  for (double key_interval : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    axis.values.push_back(AxisValue{fmt("%.0fs", key_interval), key_interval,
+                                    [key_interval](sim::ExperimentConfig& cfg) {
+                                      cfg.params.block_interval = key_interval;
+                                    }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+// --- ablation: 90% mining-power drop (paper §5.2) ----------------------------
+Scenario make_ablation_power_drop(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "ablation_power_drop";
+  s.description =
+      "90% hash-power drop after retarget: NG keeps serializing txs (§5.2)";
+  s.seed_base = 8400;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 200u);
+  s.base.params.block_interval = 30;
+  s.base.params.microblock_interval = 5;
+  s.base.params.max_block_size = 8000;
+  s.base.params.max_microblock_size = 8000;
+  s.base.target_blocks = 1'000'000;  // the run hook stops by time, not count
+  s.base.retarget = chain::RetargetRule{50, 30.0, 4.0};
+  s.axes.push_back(
+      protocol_axis({chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG}));
+  // Preserve the preset-independent sizes over the protocol switch.
+  for (AxisValue& v : s.axes.back().values) {
+    ConfigDelta inner = std::move(v.apply);
+    v.apply = [inner](sim::ExperimentConfig& cfg) {
+      inner(cfg);
+      cfg.params.block_interval = 30;
+      cfg.params.microblock_interval = 5;
+    };
+  }
+  s.run = [](sim::Experiment& exp, NamedValues& values) {
+    exp.scheduler().start();
+    const Seconds phase_len = 1800;
+    exp.queue().run_until(phase_len);
+    const auto pow_1 = exp.trace().pow_blocks();
+    const auto tx_1 = exp.global_tree().best_entry().chain_tx_count;
+
+    // 90% of hash power leaves (paper: miners flee to another chain).
+    const auto& powers = exp.powers();
+    for (std::uint32_t i = 0; i < exp.config().num_nodes; ++i)
+      exp.scheduler().set_power(i, powers[i] * 0.1);
+
+    exp.queue().run_until(2 * phase_len);
+    exp.scheduler().stop();
+    const auto pow_2 = exp.trace().pow_blocks() - pow_1;
+    // A post-drop reorg can land on a best tip carrying fewer cumulative
+    // txs than the phase-1 snapshot; clamp instead of wrapping unsigned.
+    const auto tip_txs = exp.global_tree().best_entry().chain_tx_count;
+    const auto tx_2 = tip_txs > tx_1 ? tip_txs - tx_1 : 0;
+
+    const double mins = phase_len / 60.0;
+    values.emplace_back("pow_per_min_before", pow_1 / mins);
+    values.emplace_back("txs_per_min_before", static_cast<double>(tx_1) / mins);
+    values.emplace_back("pow_per_min_after", pow_2 / mins);
+    values.emplace_back("txs_per_min_after", static_cast<double>(tx_2) / mins);
+  };
+  return s;
+}
+
+// --- ablation: selfish mining revenue vs attacker power ----------------------
+Scenario make_ablation_selfish(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "ablation_selfish_mining";
+  s.description = "SM1 revenue share vs attacker power; crossover near 1/4 (§2)";
+  s.seed_base = 8600;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 100u);
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.block_interval = 10;
+  s.base.params.max_block_size = 4000;
+  s.base.target_blocks = std::max(knobs.blocks * 5, 300u);
+  s.base.drain_time = 60;
+  s.base.node_factory = [](NodeId id, net::Network& net, chain::BlockPtr genesis,
+                           const protocol::NodeConfig& ncfg, Rng rng,
+                           protocol::IBlockObserver* obs)
+      -> std::unique_ptr<protocol::BaseNode> {
+    if (id != 0) return nullptr;
+    return std::make_unique<bitcoin::SelfishMiner>(id, net, std::move(genesis), ncfg, rng,
+                                                   obs);
+  };
+  Axis axis{"alpha", {}};
+  for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
+    axis.values.push_back(AxisValue{
+        fmt("a=%.2f", alpha), alpha, [alpha](sim::ExperimentConfig& cfg) {
+          std::vector<double> powers(cfg.num_nodes,
+                                     (1.0 - alpha) / (cfg.num_nodes - 1));
+          powers[0] = alpha;
+          cfg.custom_powers = std::move(powers);
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto& g = exp.global_tree();
+    std::uint32_t attacker_main = 0, total_main = 0;
+    for (std::uint32_t idx : g.path_from_genesis(g.best_tip())) {
+      if (idx == chain::BlockTree::kGenesisIndex) continue;
+      ++total_main;
+      if (g.entry(idx).block->miner() == 0) ++attacker_main;
+    }
+    const double revenue =
+        total_main > 0 ? static_cast<double>(attacker_main) / total_main : 0;
+    v.emplace_back("revenue_share", revenue);
+    v.emplace_back("advantage", revenue - exp.powers()[0]);
+    v.emplace_back("branches_abandoned",
+                   static_cast<double>(static_cast<const bitcoin::SelfishMiner&>(
+                                           *exp.nodes()[0])
+                                           .branches_abandoned()));
+  };
+  return s;
+}
+
+// --- smoke: tiny CI sweep ----------------------------------------------------
+Scenario make_smoke(const RunKnobs& knobs) {
+  (void)knobs;  // deliberately fixed-size: CI wall time must not scale up
+  Scenario s;
+  s.name = "smoke";
+  s.description = "tiny Bitcoin-vs-NG sweep for CI and determinism checks";
+  s.seed_base = 100;
+  s.base.num_nodes = 40;
+  s.base.target_blocks = 8;
+  s.base.tx_size = kTxSize;
+  s.base.drain_time = 30;
+  s.base.params.max_block_size = 5000;
+  s.base.params.max_microblock_size = 5000;
+  Axis axis = protocol_axis({chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG});
+  for (AxisValue& v : axis.values) {
+    ConfigDelta inner = std::move(v.apply);
+    v.apply = [inner](sim::ExperimentConfig& cfg) {
+      inner(cfg);
+      cfg.params.block_interval =
+          cfg.params.protocol == chain::Protocol::kBitcoinNG ? 60.0 : 15.0;
+      cfg.params.microblock_interval = 5.0;
+    };
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  struct Builtin {
+    const char* name;
+    Scenario (*make)(const RunKnobs&);
+  };
+  static constexpr Builtin kBuiltins[] = {
+      {"fig6", make_fig6},
+      {"fig7", make_fig7},
+      {"fig8a", make_fig8a},
+      {"fig8b", make_fig8b},
+      {"ablation_ghost", make_ablation_ghost},
+      {"ablation_keyblock_freq", make_ablation_keyblock},
+      {"ablation_power_drop", make_ablation_power_drop},
+      {"ablation_selfish_mining", make_ablation_selfish},
+      {"smoke", make_smoke},
+  };
+  for (const Builtin& b : kBuiltins) {
+    // Description comes from a throwaway smallest-scale instantiation so the
+    // registry can list it without running anything.
+    Scenario probe = b.make(RunKnobs{10, 1});
+    register_scenario(b.name, probe.description, b.make);
+  }
+}
+
+}  // namespace bng::runner

@@ -1,0 +1,31 @@
+// Determinism digest: FNV-1a over a run's observable outputs.
+//
+// Two runs of the same (config, seed) must produce bit-identical digests
+// regardless of how many sweep jobs execute concurrently — the digest is the
+// witness the concurrency tests and CI compare.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace bng::runner {
+
+struct Digest {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+};
+
+}  // namespace bng::runner

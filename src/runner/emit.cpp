@@ -1,0 +1,219 @@
+#include "runner/emit.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace bng::runner {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string fmt_digest(std::uint64_t d) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, d);
+  return buf;
+}
+
+}  // namespace
+
+double aggregate_mean(const PointResult& point, std::string_view name) {
+  for (const auto& [key, agg] : point.aggregates)
+    if (key == name) return agg.mean;
+  return 0;
+}
+
+std::string point_label(const PointResult& point) {
+  if (point.labels.empty()) return "-";
+  std::string out;
+  for (const std::string& l : point.labels) {
+    if (!out.empty()) out += '/';
+    out += l;
+  }
+  return out;
+}
+
+std::string to_json(const SweepResult& r) {
+  std::string j = "{\n";
+  auto field = [&j](const char* name, const std::string& value, bool quoted) {
+    j += '"';
+    j += name;
+    j += "\": ";
+    if (quoted) j += '"';
+    j += value;
+    if (quoted) j += '"';
+  };
+  j += "  ";
+  field("scenario", json_escape(r.scenario), true);
+  j += ",\n  ";
+  field("description", json_escape(r.description), true);
+  j += ",\n  \"config\": {";
+  field("seeds", std::to_string(r.seeds), false);
+  j += ", ";
+  field("jobs", std::to_string(r.jobs), false);
+  j += "},\n  ";
+  field("wall_s", fmt_double(r.wall_s), false);
+  j += ",\n  \"points\": [\n";
+  for (std::size_t p = 0; p < r.points.size(); ++p) {
+    const PointResult& point = r.points[p];
+    j += "    {";
+    field("label", json_escape(point_label(point)), true);
+    j += ", ";
+    field("x", fmt_double(point.x), false);
+    j += ",\n     \"seeds\": [\n";
+    for (std::size_t s = 0; s < point.seeds.size(); ++s) {
+      const SeedResult& seed = point.seeds[s];
+      j += "       {";
+      field("seed", std::to_string(seed.seed), false);
+      j += ", ";
+      field("digest", fmt_digest(seed.digest), true);
+      j += ", \"metrics\": {";
+      for (std::size_t m = 0; m < seed.values.size(); ++m) {
+        if (m > 0) j += ", ";
+        field(json_escape(seed.values[m].first).c_str(),
+              fmt_double(seed.values[m].second), false);
+      }
+      j += s + 1 < point.seeds.size() ? "}},\n" : "}}\n";
+    }
+    j += "     ],\n     \"aggregate\": {";
+    for (std::size_t m = 0; m < point.aggregates.size(); ++m) {
+      const auto& [name, a] = point.aggregates[m];
+      if (m > 0) j += ", ";
+      j += '"';
+      j += json_escape(name);
+      j += "\": {";
+      field("n", std::to_string(a.n), false);
+      j += ", ";
+      field("mean", fmt_double(a.mean), false);
+      j += ", ";
+      field("stddev", fmt_double(a.stddev), false);
+      j += ", ";
+      field("min", fmt_double(a.min), false);
+      j += ", ";
+      field("max", fmt_double(a.max), false);
+      j += ", ";
+      field("p50", fmt_double(a.p50), false);
+      j += ", ";
+      field("p90", fmt_double(a.p90), false);
+      j += '}';
+    }
+    j += "}}";
+    j += p + 1 < r.points.size() ? ",\n" : "\n";
+  }
+  j += "  ]\n}\n";
+  return j;
+}
+
+std::string aggregate_csv(const SweepResult& r) {
+  std::string csv = "point,x,metric,n,mean,stddev,min,max,p50,p90\n";
+  for (const PointResult& point : r.points) {
+    const std::string label = point_label(point);
+    for (const auto& [name, a] : point.aggregates) {
+      csv += label;
+      csv += ',';
+      csv += fmt_double(point.x);
+      csv += ',';
+      csv += name;
+      csv += ',';
+      csv += std::to_string(a.n);
+      for (double v : {a.mean, a.stddev, a.min, a.max, a.p50, a.p90}) {
+        csv += ',';
+        csv += fmt_double(v);
+      }
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+std::string seeds_csv(const SweepResult& r) {
+  // Metric keys are uniform within a point but may differ across points
+  // (per-point hooks): columns are the first-seen-ordered union, and a seed
+  // row leaves columns its point doesn't produce empty.
+  std::vector<std::string> columns;
+  for (const PointResult& point : r.points) {
+    if (point.seeds.empty()) continue;
+    for (const auto& [name, value] : point.seeds.front().values) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), name) == columns.end())
+        columns.push_back(name);
+    }
+  }
+
+  std::string csv = "point,x,seed,digest";
+  for (const std::string& name : columns) {
+    csv += ',';
+    csv += name;
+  }
+  csv += '\n';
+  for (const PointResult& point : r.points) {
+    const std::string label = point_label(point);
+    for (const SeedResult& seed : point.seeds) {
+      csv += label;
+      csv += ',';
+      csv += fmt_double(point.x);
+      csv += ',';
+      csv += std::to_string(seed.seed);
+      csv += ',';
+      csv += fmt_digest(seed.digest);
+      for (const std::string& name : columns) {
+        csv += ',';
+        for (const auto& [key, value] : seed.values)
+          if (key == name) {
+            csv += fmt_double(value);
+            break;
+          }
+      }
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+void print_table(const SweepResult& r, std::FILE* out) {
+  std::fprintf(out, "%-24s | %9s %9s %8s %8s %9s %8s | %s\n", "point", "ttp[s]",
+               "ttw[s]", "mpu", "fairness", "consl[s]", "tx/s", "blocks(main/total)");
+  for (const PointResult& point : r.points) {
+    std::fprintf(out, "%-24s | %9.2f %9.2f %8.3f %8.3f %9.2f %8.2f | %.0f/%.0f\n",
+                 point_label(point).c_str(), aggregate_mean(point, "time_to_prune_p90_s"),
+                 aggregate_mean(point, "time_to_win_p90_s"), aggregate_mean(point, "mpu"),
+                 aggregate_mean(point, "fairness"),
+                 aggregate_mean(point, "consensus_delay_s"),
+                 aggregate_mean(point, "tx_per_sec"),
+                 aggregate_mean(point, "main_pow_blocks"),
+                 aggregate_mean(point, "total_pow_blocks"));
+  }
+  std::fprintf(out, "(%u seed%s/point, %u job%s, %.1fs wall)\n", r.seeds,
+               r.seeds == 1 ? "" : "s", r.jobs, r.jobs == 1 ? "" : "s", r.wall_s);
+}
+
+}  // namespace bng::runner

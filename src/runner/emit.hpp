@@ -1,0 +1,35 @@
+// Emitters: machine-readable JSON / CSV (the BENCH_core.json convention:
+// one self-describing top-level object, checked into CI artifacts) and the
+// human-readable metric table the figure binaries print.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "runner/sweep.hpp"
+
+namespace bng::runner {
+
+/// Full result as a JSON document: scenario header, per-point per-seed
+/// records (with determinism digests) and per-metric aggregates.
+std::string to_json(const SweepResult& result);
+
+/// Long-form aggregate CSV:
+///   point,x,metric,n,mean,stddev,min,max,p50,p90
+std::string aggregate_csv(const SweepResult& result);
+
+/// Wide per-seed CSV (one row per run, one column per metric):
+///   point,x,seed,digest,<metric...>
+std::string seeds_csv(const SweepResult& result);
+
+/// The familiar figure table (mean over seeds of the headline metrics).
+void print_table(const SweepResult& result, std::FILE* out = stdout);
+
+/// Joined point label, e.g. "bitcoin/0.100 1/s".
+std::string point_label(const PointResult& point);
+
+/// Mean of the named metric's aggregate; 0 if the point doesn't have it.
+double aggregate_mean(const PointResult& point, std::string_view name);
+
+}  // namespace bng::runner

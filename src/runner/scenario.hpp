@@ -1,0 +1,120 @@
+// Declarative sweep scenarios: the experiment *description*, separated from
+// the execution engine (runner/sweep.hpp) that runs it.
+//
+// A Scenario is a base ExperimentConfig plus sweep axes; each axis is a
+// vector of named config deltas, and the cartesian product of the axes is
+// the sweep grid. The paper's figures (§7-§8) are registered as built-in
+// scenarios; ad-hoc sweeps load from a key=value scenario file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runner/aggregate.hpp"
+#include "sim/experiment.hpp"
+
+namespace bng::runner {
+
+/// Paper §7 workload constants, shared by the built-in scenarios and the
+/// bench harnesses: operational Bitcoin payload = 1 MB / 600 s, carried by
+/// identical-size transactions (~3.5 tx/s at that rate).
+inline constexpr double kPayloadBytesPerSecond = 1'000'000.0 / 600.0;
+inline constexpr std::size_t kTxSize = 476;
+
+/// Parse an unsigned env var; `fallback` when unset, unparsable, or 0.
+std::uint32_t env_u32(const char* name, std::uint32_t fallback);
+
+/// Scale knobs threaded into scenario factories so one registration covers
+/// paper scale and CI smoke scale (REPRO_NODES / REPRO_BLOCKS / CLI flags).
+struct RunKnobs {
+  std::uint32_t nodes = 1000;
+  std::uint32_t blocks = 60;
+};
+
+/// A config override applied on top of the scenario base (or earlier axes).
+using ConfigDelta = std::function<void(sim::ExperimentConfig&)>;
+
+/// One value along a sweep axis. `x` is the numeric position for fits and
+/// plots (0 when the axis is categorical, e.g. a protocol choice).
+struct AxisValue {
+  std::string label;
+  double x = 0;
+  ConfigDelta apply;
+};
+
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+/// Per-seed hooks. `run` replaces the default Experiment::run() for
+/// experiments that drive the clock manually (e.g. the power-drop ablation);
+/// `extra` extracts additional per-seed metrics after the run. Both may
+/// append to the NamedValues record, which the engine aggregates alongside
+/// the standard metrics. Hooks must be callable concurrently.
+using RunHook = std::function<void(sim::Experiment&, NamedValues&)>;
+using ExtraHook = std::function<void(const sim::Experiment&, NamedValues&)>;
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  sim::ExperimentConfig base;
+  std::vector<Axis> axes;
+  /// Job seed = seed_base + point_index * 1'000'000 + seed_ordinal.
+  std::uint64_t seed_base = 9000;
+  RunHook run;
+  ExtraHook extra;
+};
+
+/// A materialized cell of the sweep grid: base + one delta per axis.
+struct SweepPoint {
+  std::vector<std::string> labels;  ///< one per axis, in axis order
+  double x = 0;                     ///< numeric position of the last axis value
+  sim::ExperimentConfig config;     ///< seed is set by the engine per job
+};
+
+/// Cartesian product of the axes (a single point if there are none).
+std::vector<SweepPoint> expand(const Scenario& s);
+
+// --- Registry ---------------------------------------------------------------
+
+using ScenarioFactory = std::function<Scenario(const RunKnobs&)>;
+
+void register_scenario(std::string name, std::string description, ScenarioFactory factory);
+
+/// Instantiate a registered scenario; nullopt if the name is unknown.
+std::optional<Scenario> make_scenario(const std::string& name, const RunKnobs& knobs);
+
+/// (name, description) of every registered scenario, sorted by name.
+std::vector<std::pair<std::string, std::string>> list_scenarios();
+
+// --- Declarative overrides / scenario files ---------------------------------
+
+/// Apply one `key=value` override to a config (e.g. "block_interval", "10").
+/// Throws std::invalid_argument on an unknown key or unparsable value.
+void apply_config_override(sim::ExperimentConfig& cfg, std::string_view key,
+                           std::string_view value);
+
+/// The keys apply_config_override understands (for --help / error messages).
+std::vector<std::string> config_override_keys();
+
+/// Load a scenario from a simple key=value file:
+///
+///   name        = my_sweep
+///   description = what this measures
+///   seed_base   = 12000
+///   base.protocol       = bitcoin        # bitcoin | ng | ghost
+///   base.block_interval = 10
+///   axis.max_block_size = 10000, 20000, 40000
+///
+/// `#` starts a comment; blank lines are ignored. Each `axis.<key>` line
+/// adds one sweep axis (file order). Throws std::runtime_error on I/O or
+/// parse errors.
+Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs);
+
+}  // namespace bng::runner

@@ -1,0 +1,61 @@
+// Parallel sweep engine: fans (sweep point × seed) jobs across a thread
+// pool and folds the per-seed metrics into aggregates.
+//
+// Determinism: each job's RNG seed is a pure function of its identity
+// (scenario seed_base, point index, seed ordinal), every job writes only its
+// own preallocated result slot, and the shared tx pool is generated once per
+// sweep point from seed-independent parameters — so results are
+// bit-identical regardless of the number of worker threads or the order the
+// pool schedules jobs in. Each per-seed record carries an FNV-1a determinism
+// digest as the witness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/aggregate.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::runner {
+
+struct SweepOptions {
+  std::uint32_t seeds = 1;
+  /// Worker threads; 0 = hardware concurrency. Results are identical for
+  /// any value.
+  std::uint32_t jobs = 1;
+  /// One immutable pre-generated tx pool per sweep point, shared by all of
+  /// its seeds (instead of a per-seed copy).
+  bool share_workload = true;
+};
+
+struct SeedResult {
+  std::uint64_t seed = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a over the run's observable outputs
+  NamedValues values;
+};
+
+struct PointResult {
+  std::vector<std::string> labels;
+  double x = 0;
+  std::vector<SeedResult> seeds;  ///< ordered by seed ordinal
+  std::vector<std::pair<std::string, MetricAggregate>> aggregates;
+};
+
+struct SweepResult {
+  std::string scenario;
+  std::string description;
+  std::uint32_t seeds = 1;
+  std::uint32_t jobs = 1;  ///< worker threads actually used
+  double wall_s = 0;
+  std::vector<PointResult> points;
+};
+
+/// Run every (point, seed) job of the scenario. Rethrows the first job
+/// failure after all workers have stopped.
+SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options);
+
+/// Flatten a metrics report into the engine's named-value record shape.
+NamedValues standard_metric_values(const sim::Experiment& exp);
+
+}  // namespace bng::runner

@@ -13,44 +13,70 @@ namespace bng::sim {
 namespace {
 /// Hard cap on synthetic pool size to bound memory (≈ 300 MB of txs).
 constexpr std::size_t kMaxPoolSize = 400'000;
+
+/// Generate genesis + tx pool for `cfg`. Deterministic and seed-independent:
+/// the pool depends only on the deployment/workload parameters.
+PrebuiltWorkload generate_workload(const ExperimentConfig& cfg) {
+  std::size_t pool = cfg.pool_size;
+  if (pool == 0) {
+    // Auto-size: enough transactions to fill every counted block twice over.
+    const std::size_t per_block =
+        (cfg.params.protocol == chain::Protocol::kBitcoinNG ? cfg.params.max_microblock_size
+                                                            : cfg.params.max_block_size) /
+        std::max<std::size_t>(cfg.tx_size, 1);
+    pool = 2 * static_cast<std::size_t>(cfg.target_blocks) * std::max<std::size_t>(per_block, 1) +
+           1000;
+  }
+  pool = std::min(pool, kMaxPoolSize);
+
+  PrebuiltWorkload out;
+  out.genesis = chain::make_genesis(pool, kCoin);
+  const Hash256 genesis_txid = out.genesis->txs()[0]->id();
+
+  // Determine padding so that every tx hits exactly cfg.tx_size on the wire.
+  auto probe = chain::make_transfer(chain::Outpoint{genesis_txid, 0}, kCoin - cfg.tx_fee,
+                                    chain::address_from_tag(0), cfg.tx_fee, 0);
+  const std::size_t base_size = probe->wire_size();
+  const std::uint32_t padding =
+      cfg.tx_size > base_size ? static_cast<std::uint32_t>(cfg.tx_size - base_size) : 0;
+
+  out.workload.txs.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    out.workload.txs.push_back(chain::make_transfer(
+        chain::Outpoint{genesis_txid, static_cast<std::uint32_t>(i)}, kCoin - cfg.tx_fee,
+        chain::address_from_tag(i + 1'000'000), cfg.tx_fee, padding));
+  }
+  out.workload.tx_wire_size =
+      out.workload.txs.empty() ? cfg.tx_size : out.workload.txs[0]->wire_size();
+  out.workload.fee_per_tx = cfg.tx_fee;
+  return out;
+}
 }  // namespace
+
+std::shared_ptr<const PrebuiltWorkload> build_shared_workload(const ExperimentConfig& cfg) {
+  auto shared = std::make_shared<PrebuiltWorkload>(generate_workload(cfg));
+  // Warm the lazy per-tx caches while the pool is still owned by one thread:
+  // Transaction::id()/wire_size() write plain mutable fields on first use,
+  // which would be a data race if first computed by concurrent experiments.
+  for (const auto& tx : shared->workload.txs) {
+    (void)tx->id();
+    (void)tx->wire_size();
+  }
+  return shared;
+}
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)), master_rng_(cfg_.seed) {}
 
 Experiment::~Experiment() = default;
 
 void Experiment::build_workload() {
-  std::size_t pool = cfg_.pool_size;
-  if (pool == 0) {
-    // Auto-size: enough transactions to fill every counted block twice over.
-    const std::size_t per_block =
-        (cfg_.params.protocol == chain::Protocol::kBitcoinNG ? cfg_.params.max_microblock_size
-                                                             : cfg_.params.max_block_size) /
-        std::max<std::size_t>(cfg_.tx_size, 1);
-    pool = 2 * static_cast<std::size_t>(cfg_.target_blocks) * std::max<std::size_t>(per_block, 1) +
-           1000;
+  if (cfg_.shared_workload) {
+    genesis_ = cfg_.shared_workload->genesis;
+    return;
   }
-  pool = std::min(pool, kMaxPoolSize);
-
-  genesis_ = chain::make_genesis(pool, kCoin);
-  const Hash256 genesis_txid = genesis_->txs()[0]->id();
-
-  // Determine padding so that every tx hits exactly cfg_.tx_size on the wire.
-  auto probe = chain::make_transfer(chain::Outpoint{genesis_txid, 0}, kCoin - cfg_.tx_fee,
-                                    chain::address_from_tag(0), cfg_.tx_fee, 0);
-  const std::size_t base_size = probe->wire_size();
-  const std::uint32_t padding =
-      cfg_.tx_size > base_size ? static_cast<std::uint32_t>(cfg_.tx_size - base_size) : 0;
-
-  workload_.txs.clear();
-  workload_.txs.reserve(pool);
-  for (std::size_t i = 0; i < pool; ++i) {
-    workload_.txs.push_back(chain::make_transfer(
-        chain::Outpoint{genesis_txid, static_cast<std::uint32_t>(i)}, kCoin - cfg_.tx_fee,
-        chain::address_from_tag(i + 1'000'000), cfg_.tx_fee, padding));
-  }
-  workload_.tx_wire_size = workload_.txs.empty() ? cfg_.tx_size : workload_.txs[0]->wire_size();
-  workload_.fee_per_tx = cfg_.tx_fee;
+  PrebuiltWorkload generated = generate_workload(cfg_);
+  genesis_ = std::move(generated.genesis);
+  workload_ = std::move(generated.workload);
 }
 
 void Experiment::build_nodes() {
@@ -81,7 +107,7 @@ void Experiment::build_nodes() {
     ncfg.verify_bytes_per_second = cfg_.verify_bytes_per_second;
     ncfg.verify_signatures = cfg_.verify_signatures;
     ncfg.workload_mode = cfg_.workload_mode;
-    ncfg.workload = &workload_;
+    ncfg.workload = &workload();
     Rng node_rng = master_rng_.fork(1000 + i);
     std::unique_ptr<protocol::BaseNode> node;
     if (cfg_.node_factory)
@@ -114,7 +140,7 @@ void Experiment::build_nodes() {
   // In full-mempool mode every node starts with the identical pool.
   if (cfg_.workload_mode == protocol::WorkloadMode::kFullMempool) {
     for (auto& n : nodes_)
-      for (const auto& tx : workload_.txs) n->submit_transaction(tx);
+      for (const auto& tx : workload().txs) n->submit_transaction(tx);
   }
 }
 

@@ -20,6 +20,18 @@
 
 namespace bng::sim {
 
+/// A fully generated synthetic workload (genesis block + tx pool) that can
+/// be shared read-only between experiments. All seeds of a sweep point use
+/// the same pool (ROADMAP "synthetic-workload memory"): the pool is a pure
+/// function of the deployment parameters, not of the seed, and nodes never
+/// mutate it, so one copy serves every run instead of hundreds of MB per
+/// seed. Build with build_shared_workload(), which also pre-warms the lazy
+/// tx-id/wire-size caches so the pool is safe to read from many threads.
+struct PrebuiltWorkload {
+  chain::BlockPtr genesis;
+  protocol::SyntheticWorkload workload;
+};
+
 struct ExperimentConfig {
   chain::Params params;
 
@@ -72,8 +84,21 @@ struct ExperimentConfig {
   /// Scheduled connectivity changes, applied during run().
   std::vector<ChurnEvent> churn;
 
+  // --- Workload sharing ------------------------------------------------------
+  /// If set, use this pre-built pool instead of generating one. Must have
+  /// been built from a config with identical workload parameters (protocol,
+  /// sizes, tx_size, tx_fee, pool_size, target_blocks); the experiment only
+  /// reads it, so one instance can back many concurrent experiments.
+  std::shared_ptr<const PrebuiltWorkload> shared_workload;
+
   std::uint64_t seed = 1;
 };
+
+/// Generate the workload `cfg` would build, pre-warming every transaction's
+/// lazily cached id and wire size (they are plain mutable fields, so first
+/// use must not race across threads). Seed-independent.
+[[nodiscard]] std::shared_ptr<const PrebuiltWorkload> build_shared_workload(
+    const ExperimentConfig& cfg);
 
 class Experiment {
  public:
@@ -95,9 +120,12 @@ class Experiment {
   }
   [[nodiscard]] const std::vector<double>& powers() const { return powers_; }
   [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const net::Network& network() const { return *network_; }
   [[nodiscard]] net::EventQueue& queue() { return queue_; }
   [[nodiscard]] MiningScheduler& scheduler() { return *scheduler_; }
-  [[nodiscard]] const protocol::SyntheticWorkload& workload() const { return workload_; }
+  [[nodiscard]] const protocol::SyntheticWorkload& workload() const {
+    return cfg_.shared_workload ? cfg_.shared_workload->workload : workload_;
+  }
   [[nodiscard]] Seconds end_time() const { return end_time_; }
   [[nodiscard]] chain::BlockPtr genesis() const { return genesis_; }
 

@@ -1,0 +1,74 @@
+// Aggregation math on known inputs.
+#include <gtest/gtest.h>
+
+#include "runner/aggregate.hpp"
+
+namespace bng::runner {
+namespace {
+
+TEST(Aggregate, KnownSamples) {
+  // sorted: 2 4 4 4 5 5 7 9 — mean 5, sample stddev 2.138, p50 4.5, p90 7.6
+  const auto a = aggregate({9, 2, 4, 4, 4, 5, 5, 7});
+  EXPECT_EQ(a.n, 8u);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_NEAR(a.stddev, 2.13808993529939, 1e-12);  // sqrt(32/7)
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 9.0);
+  // Linear-interpolated percentiles: rank = p/100 * (n-1).
+  EXPECT_DOUBLE_EQ(a.p50, 4.5);  // rank 3.5 between 4 and 5
+  EXPECT_NEAR(a.p90, 7.6, 1e-12);  // rank 6.3 between 7 and 9
+}
+
+TEST(Aggregate, SingleSample) {
+  const auto a = aggregate({3.25});
+  EXPECT_EQ(a.n, 1u);
+  EXPECT_DOUBLE_EQ(a.mean, 3.25);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(a.min, 3.25);
+  EXPECT_DOUBLE_EQ(a.max, 3.25);
+  EXPECT_DOUBLE_EQ(a.p50, 3.25);
+  EXPECT_DOUBLE_EQ(a.p90, 3.25);
+}
+
+TEST(Aggregate, Empty) {
+  const auto a = aggregate({});
+  EXPECT_EQ(a.n, 0u);
+  EXPECT_DOUBLE_EQ(a.mean, 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 0.0);
+}
+
+TEST(Aggregate, TwoSeedMeanAndSpread) {
+  const auto a = aggregate({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(a.mean, 2.0);
+  EXPECT_NEAR(a.stddev, 1.4142135623730951, 1e-15);  // sqrt(2), sample stddev
+  EXPECT_DOUBLE_EQ(a.p50, 2.0);
+}
+
+TEST(AggregateRecords, FoldsPerMetric) {
+  const std::vector<NamedValues> records = {
+      {{"mpu", 1.0}, {"tx_per_sec", 2.0}},
+      {{"mpu", 0.5}, {"tx_per_sec", 4.0}},
+  };
+  const auto aggs = aggregate_records(records);
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].first, "mpu");
+  EXPECT_DOUBLE_EQ(aggs[0].second.mean, 0.75);
+  EXPECT_EQ(aggs[1].first, "tx_per_sec");
+  EXPECT_DOUBLE_EQ(aggs[1].second.mean, 3.0);
+  EXPECT_EQ(aggs[1].second.n, 2u);
+}
+
+TEST(AggregateRecords, RejectsMismatchedKeys) {
+  const std::vector<NamedValues> records = {
+      {{"mpu", 1.0}},
+      {{"fairness", 0.5}},
+  };
+  EXPECT_THROW(aggregate_records(records), std::invalid_argument);
+}
+
+TEST(AggregateRecords, EmptyIsEmpty) {
+  EXPECT_TRUE(aggregate_records({}).empty());
+}
+
+}  // namespace
+}  // namespace bng::runner

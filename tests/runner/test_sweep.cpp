@@ -1,0 +1,163 @@
+// The parallel sweep engine: concurrency determinism and result shape.
+//
+// The load-bearing property: a sweep's output (per-seed digests, metric
+// values, aggregates, emitted JSON/CSV) is a pure function of the scenario
+// and seeds, bit-identical for any --jobs value.
+#include <gtest/gtest.h>
+
+#include "runner/emit.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+
+namespace bng::runner {
+namespace {
+
+/// A 2-point Bitcoin mini sweep, small enough for unit-test wall time.
+Scenario mini_scenario() {
+  Scenario s;
+  s.name = "mini";
+  s.description = "unit-test sweep";
+  s.seed_base = 500;
+  s.base.num_nodes = 16;
+  s.base.target_blocks = 4;
+  s.base.drain_time = 20;
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.max_block_size = 4000;
+  Axis axis{"block_interval", {}};
+  for (double interval : {8.0, 15.0}) {
+    axis.values.push_back(AxisValue{std::to_string(interval) + "s", interval,
+                                    [interval](sim::ExperimentConfig& cfg) {
+                                      cfg.params.block_interval = interval;
+                                    }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+SweepOptions options(std::uint32_t seeds, std::uint32_t jobs) {
+  SweepOptions opt;
+  opt.seeds = seeds;
+  opt.jobs = jobs;
+  return opt;
+}
+
+TEST(Sweep, ResultShape) {
+  const auto r = run_sweep(mini_scenario(), options(2, 1));
+  EXPECT_EQ(r.scenario, "mini");
+  ASSERT_EQ(r.points.size(), 2u);
+  for (const auto& point : r.points) {
+    ASSERT_EQ(point.seeds.size(), 2u);
+    EXPECT_FALSE(point.aggregates.empty());
+    EXPECT_NE(point.seeds[0].digest, 0u);
+    // Different seeds explore different schedules.
+    EXPECT_NE(point.seeds[0].seed, point.seeds[1].seed);
+    EXPECT_FALSE(point.seeds[0].values.empty());
+  }
+  // Per-point seeds are disjoint streams.
+  EXPECT_NE(r.points[0].seeds[0].seed, r.points[1].seeds[0].seed);
+}
+
+TEST(Sweep, JobCountDoesNotChangeResults) {
+  const Scenario s = mini_scenario();
+  const auto sequential = run_sweep(s, options(4, 1));
+  const auto parallel = run_sweep(s, options(4, 4));
+
+  ASSERT_EQ(sequential.points.size(), parallel.points.size());
+  for (std::size_t p = 0; p < sequential.points.size(); ++p) {
+    const auto& sp = sequential.points[p];
+    const auto& pp = parallel.points[p];
+    ASSERT_EQ(sp.seeds.size(), pp.seeds.size());
+    for (std::size_t i = 0; i < sp.seeds.size(); ++i) {
+      EXPECT_EQ(sp.seeds[i].seed, pp.seeds[i].seed);
+      EXPECT_EQ(sp.seeds[i].digest, pp.seeds[i].digest)
+          << "point " << p << " seed " << i << " diverged under concurrency";
+      ASSERT_EQ(sp.seeds[i].values.size(), pp.seeds[i].values.size());
+      for (std::size_t m = 0; m < sp.seeds[i].values.size(); ++m) {
+        EXPECT_EQ(sp.seeds[i].values[m].first, pp.seeds[i].values[m].first);
+        EXPECT_EQ(sp.seeds[i].values[m].second, pp.seeds[i].values[m].second);
+      }
+    }
+  }
+  // Emitted artifacts are bit-identical too (JSON modulo wall time: compare
+  // the CSVs, which carry no timing).
+  EXPECT_EQ(aggregate_csv(sequential), aggregate_csv(parallel));
+  EXPECT_EQ(seeds_csv(sequential), seeds_csv(parallel));
+}
+
+TEST(Sweep, SharedPoolMatchesPerSeedPools) {
+  // Sharing one immutable tx pool across a point's seeds must not change
+  // any run's outputs vs. each experiment generating its own pool.
+  const Scenario s = mini_scenario();
+  SweepOptions shared = options(2, 2);
+  shared.share_workload = true;
+  SweepOptions owned = options(2, 2);
+  owned.share_workload = false;
+  EXPECT_EQ(seeds_csv(run_sweep(s, shared)), seeds_csv(run_sweep(s, owned)));
+}
+
+TEST(Sweep, CustomRunAndExtraHooksFeedAggregates) {
+  Scenario s = mini_scenario();
+  s.run = [](sim::Experiment& exp, NamedValues& values) {
+    exp.run();
+    values.emplace_back("from_run_hook", 1.0);
+  };
+  s.extra = [](const sim::Experiment& exp, NamedValues& values) {
+    values.emplace_back("nodes_seen", static_cast<double>(exp.nodes().size()));
+  };
+  const auto r = run_sweep(s, options(2, 2));
+  bool saw_run = false, saw_extra = false;
+  for (const auto& [name, agg] : r.points[0].aggregates) {
+    if (name == "from_run_hook") {
+      saw_run = true;
+      EXPECT_DOUBLE_EQ(agg.mean, 1.0);
+    }
+    if (name == "nodes_seen") {
+      saw_extra = true;
+      EXPECT_DOUBLE_EQ(agg.mean, 16.0);
+    }
+  }
+  EXPECT_TRUE(saw_run);
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(Sweep, JobFailurePropagates) {
+  Scenario s = mini_scenario();
+  s.run = [](sim::Experiment&, NamedValues&) {
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(run_sweep(s, options(2, 2)), std::runtime_error);
+}
+
+TEST(Emit, SeedsCsvUnionsPerPointMetricSets) {
+  // Points may emit different metric sets (per-point hooks); the per-seed
+  // CSV must align every value under its own named column, leaving holes
+  // blank rather than shifting values under wrong headers.
+  SweepResult r;
+  r.scenario = "union";
+  PointResult a;
+  a.labels = {"a"};
+  a.seeds.push_back(SeedResult{1, 0xabc, {{"m1", 1.5}}});
+  PointResult b;
+  b.labels = {"b"};
+  b.seeds.push_back(SeedResult{2, 0xdef, {{"m1", 2.5}, {"m2", 3.5}}});
+  r.points = {a, b};
+
+  const std::string csv = seeds_csv(r);
+  EXPECT_NE(csv.find("point,x,seed,digest,m1,m2\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("a,0,1,0000000000000abc,1.5,\n"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("b,0,2,0000000000000def,2.5,3.5\n"), std::string::npos) << csv;
+}
+
+TEST(Emit, JsonCarriesDigestsAndAggregates) {
+  const auto r = run_sweep(mini_scenario(), options(2, 1));
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"scenario\": \"mini\""), std::string::npos);
+  EXPECT_NE(json.find("\"digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(json.find("\"mpu\""), std::string::npos);
+  const std::string csv = seeds_csv(r);
+  EXPECT_NE(csv.find("point,x,seed,digest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bng::runner
