@@ -7,6 +7,8 @@
 // bench_sim_core, which writes BENCH_core.json with the headline metrics).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core_bench_util.hpp"
 #include "chain/block_tree.hpp"
 #include "chain/mempool.hpp"
@@ -142,6 +144,41 @@ void BM_NetworkGossipBurst(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(messages));
 }
 BENCHMARK(BM_NetworkGossipBurst)->Arg(200)->Arg(1000);
+
+void BM_NetworkLinkTrainPending(benchmark::State& state) {
+  // Witness for the per-link event-train design: burst-load every link of a
+  // paper-style overlay with a deep message train and record the peak
+  // pending-event count. With one scheduled event per busy link it tracks
+  // active_links (O(links)); the per-message design it replaced would sit at
+  // in_flight_msgs (O(links x train depth)).
+  const auto n_nodes = static_cast<std::uint32_t>(state.range(0));
+  const int per_link = static_cast<int>(state.range(1));
+  double max_pending = 0;
+  double max_in_flight = 0;
+  double links = 0;
+  for (auto _ : state) {
+    Rng rng(42);
+    net::EventQueue q;
+    net::Topology topo = net::Topology::random(n_nodes, 5, rng);
+    net::Network net(q, topo, net::LatencyModel::constant(0.05),
+                     net::LinkParams{100'000.0, 40}, rng);
+    std::vector<bench::BenchSink> sinks(n_nodes);
+    for (NodeId i = 0; i < n_nodes; ++i) net.attach(i, &sinks[i]);
+    const auto msg = std::make_shared<bench::BenchMessage>();
+    for (int r = 0; r < per_link; ++r)
+      for (NodeId a = 0; a < n_nodes; ++a)
+        for (NodeId b : net.peers(a)) net.send(a, b, msg);
+    max_pending = std::max(max_pending, static_cast<double>(q.pending()));
+    max_in_flight = std::max(max_in_flight, static_cast<double>(net.messages_in_flight()));
+    links = static_cast<double>(net.active_links());
+    q.run_all();
+  }
+  state.counters["max_pending_events"] = max_pending;
+  state.counters["in_flight_msgs"] = max_in_flight;
+  state.counters["active_links"] = links;
+  state.counters["pending_per_link"] = links > 0 ? max_pending / links : 0;
+}
+BENCHMARK(BM_NetworkLinkTrainPending)->Args({200, 16})->Args({1000, 16});
 
 chain::BlockPtr bench_block(chain::BlockType type, const Hash256& prev, std::uint64_t salt) {
   chain::BlockHeader h;

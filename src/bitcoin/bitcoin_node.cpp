@@ -19,8 +19,9 @@ void BitcoinNode::on_mining_win(double work) {
   const std::uint32_t tip = tree_.best_tip();
   chain::BlockPtr block = build_block(tip, work);
   ++blocks_mined_;
+  const BlockId block_id = tree_.intern(block->id());
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
-  accept_block(block, id_, work);
+  accept_block(block, block_id, id_, work);
 }
 
 chain::BlockPtr BitcoinNode::build_block(std::uint32_t tip, double work) {
@@ -46,12 +47,12 @@ chain::BlockPtr BitcoinNode::build_block(std::uint32_t tip, double work) {
   return std::make_shared<chain::Block>(std::move(header), std::move(txs), id_, work);
 }
 
-void BitcoinNode::handle_block(const chain::BlockPtr& block, NodeId from) {
-  if (tree_.contains(block->id())) return;
+void BitcoinNode::handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) {
+  if (tree_.contains_id(id)) return;
   if (auto r = chain::check_pow_block(*block); !r.ok) return;  // invalid: drop
   if (auto r = chain::check_size(*block, cfg_.params); !r.ok) return;
-  if (!ensure_parent(block, from)) return;
-  accept_block(block, from, block->work());
+  if (ensure_parent(block, id, from) == chain::BlockTree::kNoIndex) return;
+  accept_block(block, id, from, block->work());
 }
 
 }  // namespace bng::bitcoin

@@ -24,7 +24,7 @@ class BitcoinNode : public protocol::BaseNode {
   [[nodiscard]] const Hash256& reward_address() const { return reward_address_; }
 
  protected:
-  void handle_block(const chain::BlockPtr& block, NodeId from) override;
+  void handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) override;
 
  private:
   [[nodiscard]] chain::BlockPtr build_block(std::uint32_t tip, double work);

@@ -23,7 +23,7 @@ double SelfishMiner::private_work() const { return tree_.best_entry().chain_work
 
 bool SelfishMiner::should_relay(std::uint32_t index) const {
   if (withholding_) return false;  // own block being mined right now
-  const Hash256 id = tree_.entry(index).block->id();
+  const BlockId id = tree_.entry(index).id;
   if (std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
       private_blocks_.end())
     return false;  // withheld
@@ -34,7 +34,7 @@ void SelfishMiner::on_mining_win(double work) {
   withholding_ = true;
   BitcoinNode::on_mining_win(work);
   withholding_ = false;
-  private_blocks_.push_back(tree_.best_entry().block->id());
+  private_blocks_.push_back(tree_.best_entry().id);
 
   // SM1 state 0' -> win: we were racing head-to-head and just mined on our
   // own branch; publish and take both blocks' rewards.
@@ -48,7 +48,7 @@ void SelfishMiner::after_accept(const chain::BlockPtr& block, std::uint32_t inde
                                 std::uint32_t old_tip) {
   BitcoinNode::after_accept(block, index, old_tip);
   if (withholding_) return;  // our own freshly-withheld block
-  const Hash256 id = block->id();
+  const BlockId id = tree_.entry(index).id;
   if (std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
       private_blocks_.end())
     return;
@@ -80,13 +80,13 @@ void SelfishMiner::after_accept(const chain::BlockPtr& block, std::uint32_t inde
 
 void SelfishMiner::publish_until(double target_work) {
   while (!private_blocks_.empty()) {
-    const Hash256 id = private_blocks_.front();
-    auto idx = tree_.find(id);
-    if (!idx) {
+    const BlockId id = private_blocks_.front();
+    const std::uint32_t idx = tree_.index_of_id(id);
+    if (idx == chain::BlockTree::kNoIndex) {
       private_blocks_.pop_front();
       continue;
     }
-    if (tree_.entry(*idx).chain_work > target_work) break;
+    if (tree_.entry(idx).chain_work > target_work) break;
     private_blocks_.pop_front();
     ++blocks_published_;
     announce(id, id_);
@@ -95,9 +95,9 @@ void SelfishMiner::publish_until(double target_work) {
 
 void SelfishMiner::publish_all() {
   while (!private_blocks_.empty()) {
-    const Hash256 id = private_blocks_.front();
+    const BlockId id = private_blocks_.front();
     private_blocks_.pop_front();
-    if (tree_.find(id)) {
+    if (tree_.contains_id(id)) {
       ++blocks_published_;
       announce(id, id_);
     }

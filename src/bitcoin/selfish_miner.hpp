@@ -41,8 +41,9 @@ class SelfishMiner : public BitcoinNode {
   void abandon_private_chain();
   [[nodiscard]] double private_work() const;
 
-  /// Unpublished own blocks, oldest first (a suffix of the private chain).
-  std::deque<Hash256> private_blocks_;
+  /// Unpublished own blocks by interned id, oldest first (a suffix of the
+  /// private chain).
+  std::deque<BlockId> private_blocks_;
   /// Heaviest publicly-known chain work (own published blocks included).
   double public_best_work_ = 0;
   /// True while the base class processes our own freshly-withheld block.

@@ -6,33 +6,42 @@
 
 namespace bng::chain {
 
-BlockTree::BlockTree(BlockPtr genesis, TieBreak tie_break, ForkChoice fork_choice, Rng* rng)
-    : tie_break_(tie_break), fork_choice_(fork_choice), rng_(rng) {
+BlockTree::BlockTree(BlockPtr genesis, TieBreak tie_break, ForkChoice fork_choice, Rng* rng,
+                     std::shared_ptr<BlockInterner> interner)
+    : tie_break_(tie_break),
+      fork_choice_(fork_choice),
+      rng_(rng),
+      interner_(interner != nullptr ? std::move(interner)
+                                    : std::make_shared<BlockInterner>()) {
   if (tie_break_ == TieBreak::kRandom && rng_ == nullptr)
     throw std::invalid_argument("BlockTree: random tie-break needs an Rng");
   Entry e;
   e.block = std::move(genesis);
+  e.id = interner_->intern(e.block->id());
   e.parent = -1;
+  e.jump = 0;  // genesis jumps to itself
   e.received = 0;
-  index_.emplace(e.block->id(), 0);
+  if (e.id >= index_by_id_.size()) index_by_id_.resize(e.id + 1, kNoIndex);
+  index_by_id_[e.id] = 0;
   entries_.push_back(std::move(e));
   tip_history_.push_back({0.0, 0});
 }
 
 std::optional<std::uint32_t> BlockTree::find(const Hash256& id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const std::uint32_t idx = index_of_id(interner_->lookup(id));
+  if (idx == kNoIndex) return std::nullopt;
+  return idx;
 }
 
-std::uint32_t BlockTree::insert(const BlockPtr& block, Seconds received_at, double work) {
-  if (contains(block->id())) throw std::invalid_argument("BlockTree: duplicate block");
-  auto parent_it = index_.find(block->header().prev);
-  if (parent_it == index_.end()) throw std::invalid_argument("BlockTree: unknown parent");
-  const std::uint32_t parent = parent_it->second;
+std::uint32_t BlockTree::insert(const BlockPtr& block, BlockId id, Seconds received_at,
+                                double work) {
+  if (contains_id(id)) throw std::invalid_argument("BlockTree: duplicate block");
+  const std::uint32_t parent = index_of_id(interner_->lookup(block->header().prev));
+  if (parent == kNoIndex) throw std::invalid_argument("BlockTree: unknown parent");
 
   Entry e;
   e.block = block;
+  e.id = id;
   e.parent = static_cast<std::int32_t>(parent);
   e.height = entries_[parent].height + 1;
   e.pow_height = entries_[parent].pow_height + (block->is_pow() ? 1 : 0);
@@ -50,10 +59,27 @@ std::uint32_t BlockTree::insert(const BlockPtr& block, Seconds received_at, doub
                           ? static_cast<std::uint32_t>(entries_.size())
                           : entries_[parent].epoch_key_block;
 
+  // Skew-binary skip pointer: when the parent's two previous jump gaps are
+  // equal, fold them into one double-length jump; otherwise start a fresh
+  // unit jump. Gap lengths depend only on depth, so all entries at one
+  // height jump to one common height.
+  {
+    const std::uint32_t j = entries_[parent].jump;
+    const std::uint32_t jj = entries_[j].jump;
+    const std::uint32_t gap1 = entries_[parent].height - entries_[j].height;
+    const std::uint32_t gap2 = entries_[j].height - entries_[jj].height;
+    e.jump = (gap1 == gap2) ? jj : parent;
+  }
+
   const auto idx = static_cast<std::uint32_t>(entries_.size());
   entries_.push_back(std::move(e));
   entries_[parent].children.push_back(idx);
-  index_.emplace(block->id(), idx);
+  if (id >= index_by_id_.size()) {
+    index_by_id_.resize(std::max<std::size_t>(index_by_id_.size() * 2,
+                                              static_cast<std::size_t>(id) + 1),
+                        kNoIndex);
+  }
+  index_by_id_[id] = idx;
 
   // Propagate subtree work up for GHOST.
   if (work > 0) {
@@ -117,12 +143,20 @@ void BlockTree::set_tip(std::uint32_t tip, Seconds at) {
   tip_history_.push_back({at, tip});
 }
 
+std::uint32_t BlockTree::ancestor_at_height(std::uint32_t idx, std::uint32_t height) const {
+  std::uint32_t cur = idx;
+  while (entries_[cur].height > height) {
+    const std::uint32_t j = entries_[cur].jump;
+    cur = entries_[j].height >= height ? j
+                                       : static_cast<std::uint32_t>(entries_[cur].parent);
+  }
+  return cur;
+}
+
 bool BlockTree::is_ancestor(std::uint32_t anc, std::uint32_t desc) const {
-  std::uint32_t cur = desc;
   const std::uint32_t target_height = entries_[anc].height;
-  while (entries_[cur].height > target_height)
-    cur = static_cast<std::uint32_t>(entries_[cur].parent);
-  return cur == anc;
+  if (entries_[desc].height < target_height) return false;
+  return ancestor_at_height(desc, target_height) == anc;
 }
 
 std::vector<std::uint32_t> BlockTree::path_from_genesis(std::uint32_t tip) const {
@@ -136,21 +170,38 @@ std::vector<std::uint32_t> BlockTree::path_from_genesis(std::uint32_t tip) const
 }
 
 std::uint32_t BlockTree::common_ancestor(std::uint32_t a, std::uint32_t b) const {
-  while (entries_[a].height > entries_[b].height)
-    a = static_cast<std::uint32_t>(entries_[a].parent);
-  while (entries_[b].height > entries_[a].height)
-    b = static_cast<std::uint32_t>(entries_[b].parent);
+  // Equalize heights, then descend both by jump while the jumps disagree
+  // (the ancestor is at or below the jump height) and by parent otherwise.
+  // Jump heights are a pure function of depth, so a and b stay level.
+  if (entries_[a].height > entries_[b].height)
+    a = ancestor_at_height(a, entries_[b].height);
+  else if (entries_[b].height > entries_[a].height)
+    b = ancestor_at_height(b, entries_[a].height);
   while (a != b) {
-    a = static_cast<std::uint32_t>(entries_[a].parent);
-    b = static_cast<std::uint32_t>(entries_[b].parent);
+    const std::uint32_t ja = entries_[a].jump;
+    const std::uint32_t jb = entries_[b].jump;
+    if (ja != jb && entries_[ja].height == entries_[jb].height) {
+      a = ja;
+      b = jb;
+    } else {
+      a = static_cast<std::uint32_t>(entries_[a].parent);
+      b = static_cast<std::uint32_t>(entries_[b].parent);
+    }
   }
   return a;
 }
 
 std::uint32_t BlockTree::ancestor_at_or_before(std::uint32_t tip, Seconds time) const {
+  // Timestamps are non-decreasing along a chain (a block is built after its
+  // parent existed), so if the jump target still violates `time`, everything
+  // between it and `cur` does too and the whole stride can be skipped.
   std::uint32_t cur = tip;
-  while (entries_[cur].parent != -1 && entries_[cur].block->header().timestamp > time)
-    cur = static_cast<std::uint32_t>(entries_[cur].parent);
+  while (entries_[cur].parent != -1 && entries_[cur].block->header().timestamp > time) {
+    const std::uint32_t j = entries_[cur].jump;
+    cur = (j != cur && entries_[j].block->header().timestamp > time)
+              ? j
+              : static_cast<std::uint32_t>(entries_[cur].parent);
+  }
   return cur;
 }
 

@@ -1,0 +1,97 @@
+// Block-identity interning: Hash256 -> dense u32 BlockId, assigned once per
+// experiment at first sight.
+//
+// Every layer that used to key hot structures by the full 32-byte hash
+// (BlockTree indices, known/requested gossip sets, orphan buffers, metrics
+// bookkeeping) keys them by BlockId instead: one shared hash-map lookup when
+// a block first appears anywhere in the deployment, O(1) dense-array access
+// everywhere after. This mirrors how production relay paths evolved (compact
+// block relay replaces repeated full-hash lookups with short ids on the hot
+// path); here the interner is simulation-wide, so an id is meaningful across
+// nodes and wire messages can carry it directly. The simulated wire format
+// is unchanged — inv/getdata still *cost* 36 bytes — only the host-side
+// representation shrinks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bng {
+
+/// Dense per-experiment block identity. Assigned in first-sight order by the
+/// experiment's BlockInterner; valid only within that experiment.
+using BlockId = std::uint32_t;
+inline constexpr BlockId kNoBlockId = UINT32_MAX;
+
+class BlockInterner {
+ public:
+  /// Id for `h`, assigning the next dense id at first sight.
+  BlockId intern(const Hash256& h) {
+    auto [it, inserted] = ids_.try_emplace(h, static_cast<BlockId>(hashes_.size()));
+    if (inserted) hashes_.push_back(h);
+    return it->second;
+  }
+
+  /// Id for `h` if already interned; kNoBlockId otherwise.
+  [[nodiscard]] BlockId lookup(const Hash256& h) const {
+    auto it = ids_.find(h);
+    return it == ids_.end() ? kNoBlockId : it->second;
+  }
+
+  [[nodiscard]] const Hash256& hash_of(BlockId id) const {
+    if (id >= hashes_.size()) throw std::out_of_range("BlockInterner: bad id");
+    return hashes_[id];
+  }
+
+  /// Number of ids assigned so far; ids are dense in [0, size()).
+  [[nodiscard]] std::size_t size() const { return hashes_.size(); }
+
+ private:
+  std::unordered_map<Hash256, BlockId, Hash256Hasher> ids_;
+  std::vector<Hash256> hashes_;
+};
+
+/// Flat membership set over interned ids: an epoch-stamped array, so
+/// insert/contains/erase are single array accesses and clear() is O(1) (bump
+/// the epoch). Replaces the per-node unordered_set<Hash256> churn on the
+/// inv/getdata hot path.
+class FlatIdSet {
+ public:
+  [[nodiscard]] bool contains(BlockId id) const {
+    return id < stamps_.size() && stamps_[id] == epoch_;
+  }
+
+  void insert(BlockId id) {
+    if (id >= stamps_.size()) grow(id);
+    stamps_[id] = epoch_;
+  }
+
+  void erase(BlockId id) {
+    if (id < stamps_.size() && stamps_[id] == epoch_) stamps_[id] = 0;
+  }
+
+  /// Drop all members without touching the array (epoch bump). Stamp 0 is
+  /// reserved as "never a member", so the epoch skips it on wrap.
+  void clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+ private:
+  void grow(BlockId id) {
+    std::size_t n = std::max<std::size_t>(stamps_.size() * 2, 64);
+    stamps_.resize(std::max<std::size_t>(n, static_cast<std::size_t>(id) + 1), 0u);
+  }
+
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace bng

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/stats.hpp"
 
@@ -13,13 +12,14 @@ namespace {
 using chain::BlockTree;
 using sim::Experiment;
 
-/// Set of block ids on the eventual (global) main chain.
-std::unordered_set<Hash256, Hash256Hasher> main_chain_ids(const Experiment& exp) {
-  std::unordered_set<Hash256, Hash256Hasher> ids;
+/// Main-chain membership flags indexed by interned BlockId, built in one
+/// pass over the eventual (global) main chain. Every membership probe in the
+/// metrics suite is then a single array read.
+std::vector<char> main_chain_flags(const Experiment& exp) {
   const BlockTree& g = exp.global_tree();
-  for (std::uint32_t idx : g.path_from_genesis(g.best_tip()))
-    ids.insert(g.entry(idx).block->id());
-  return ids;
+  std::vector<char> on_main(g.interner().size(), 0);
+  for (std::uint32_t idx : g.path_from_genesis(g.best_tip())) on_main[g.entry(idx).id] = 1;
+  return on_main;
 }
 
 /// Largest miner = the node with the greatest mining power.
@@ -50,19 +50,21 @@ double consensus_delay(const Experiment& exp, double epsilon, double delta) {
   std::vector<Gen> gens;
   gens.reserve(exp.trace().generated().size());
   for (const auto& rec : exp.trace().generated()) {
-    if (auto gi = g.find(rec.block->id())) gens.push_back({rec.at, *gi});
+    if (const std::uint32_t gi = g.index_of_id(rec.id); gi != BlockTree::kNoIndex)
+      gens.push_back({rec.at, gi});
   }
   std::sort(gens.begin(), gens.end(), [](const Gen& a, const Gen& b) { return a.at < b.at; });
   if (gens.empty()) return 0.0;
 
-  // Per node: map node-tree entries to global indices once.
+  // Per node: map node-tree entries to global indices once. Node and global
+  // trees share one interner, so this is a flat id-indexed pass, no hashing.
   std::vector<std::vector<std::uint32_t>> global_of(n_nodes);
   for (std::size_t n = 0; n < n_nodes; ++n) {
     const BlockTree& t = nodes[n]->tree();
     global_of[n].resize(t.size());
     for (std::uint32_t i = 0; i < t.size(); ++i) {
-      auto gi = g.find(t.entry(i).block->id());
-      global_of[n][i] = gi ? *gi : 0;  // genesis and unknowns map to root
+      const std::uint32_t gi = g.index_of_id(t.entry(i).id);
+      global_of[n][i] = gi != BlockTree::kNoIndex ? gi : 0;  // unknowns -> root
     }
   }
 
@@ -139,14 +141,14 @@ double consensus_delay(const Experiment& exp, double epsilon, double delta) {
 
 double fairness(const Experiment& exp) {
   const std::uint32_t big = largest_miner(exp);
-  const auto main_ids = main_chain_ids(exp);
+  const auto on_main = main_chain_flags(exp);
   std::uint64_t gen_total = 0, gen_big = 0, main_total = 0, main_big = 0;
   for (const auto& rec : exp.trace().generated()) {
     if (rec.block->type() == chain::BlockType::kMicro) continue;
     ++gen_total;
     const bool by_big = rec.miner == big;
     gen_big += by_big ? 1 : 0;
-    if (main_ids.count(rec.block->id()) > 0) {
+    if (on_main[rec.id]) {
       ++main_total;
       main_big += by_big ? 1 : 0;
     }
@@ -160,18 +162,18 @@ double fairness(const Experiment& exp) {
 }
 
 double mining_power_utilization(const Experiment& exp) {
-  const auto main_ids = main_chain_ids(exp);
+  const auto on_main = main_chain_flags(exp);
   double total = 0, main = 0;
   for (const auto& rec : exp.trace().generated()) {
     if (rec.block->type() == chain::BlockType::kMicro) continue;
     total += rec.block->work();
-    if (main_ids.count(rec.block->id()) > 0) main += rec.block->work();
+    if (on_main[rec.id]) main += rec.block->work();
   }
   return total > 0 ? main / total : 0.0;
 }
 
 double time_to_prune(const Experiment& exp, double percentile_value) {
-  const auto main_ids = main_chain_ids(exp);
+  const auto main_flags = main_chain_flags(exp);
   std::vector<double> samples;
 
   for (const auto& node : exp.nodes()) {
@@ -181,7 +183,7 @@ double time_to_prune(const Experiment& exp, double percentile_value) {
     std::vector<std::pair<Seconds, double>> main_curve;
     std::vector<bool> on_main(t.size(), false);
     for (std::uint32_t i = 0; i < t.size(); ++i) {
-      if (main_ids.count(t.entry(i).block->id()) > 0) {
+      if (main_flags[t.entry(i).id]) {
         on_main[i] = true;
         main_curve.emplace_back(t.entry(i).received, t.entry(i).chain_work);
       }
@@ -239,7 +241,8 @@ double time_to_win(const Experiment& exp, double percentile_value) {
   };
   std::vector<Gen> gens;
   for (const auto& rec : exp.trace().generated()) {
-    if (auto gi = g.find(rec.block->id())) gens.push_back({rec.at, *gi, rec.miner});
+    if (const std::uint32_t gi = g.index_of_id(rec.id); gi != BlockTree::kNoIndex)
+      gens.push_back({rec.at, gi, rec.miner});
   }
 
   std::vector<double> samples;
@@ -268,13 +271,15 @@ double transaction_frequency(const Experiment& exp) {
 }
 
 std::vector<double> propagation_delays(const Experiment& exp) {
+  // One id-indexed array probe per (block, node) pair — the interned id in
+  // the generation record replaces a Hash256 map lookup per pair.
   std::vector<double> delays;
   for (const auto& rec : exp.trace().generated()) {
-    const Hash256 id = rec.block->id();
     for (const auto& node : exp.nodes()) {
       if (node->id() == rec.miner) continue;  // the miner holds it instantly
-      if (auto idx = node->tree().find(id))
-        delays.push_back(node->tree().entry(*idx).received - rec.at);
+      const BlockTree& t = node->tree();
+      if (const std::uint32_t idx = t.index_of_id(rec.id); idx != BlockTree::kNoIndex)
+        delays.push_back(t.entry(idx).received - rec.at);
     }
   }
   return delays;
@@ -289,9 +294,9 @@ MetricsReport compute_metrics(const Experiment& exp, double epsilon, double delt
   r.time_to_win_p90_s = time_to_win(exp, 90);
   r.tx_per_sec = transaction_frequency(exp);
 
-  const auto main_ids = main_chain_ids(exp);
+  const auto main_flags = main_chain_flags(exp);
   for (const auto& rec : exp.trace().generated()) {
-    const bool on_main = main_ids.count(rec.block->id()) > 0;
+    const bool on_main = main_flags[rec.id] != 0;
     if (rec.block->type() == chain::BlockType::kMicro) {
       ++r.total_micro_blocks;
       if (on_main) ++r.main_chain_micro_blocks;

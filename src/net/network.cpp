@@ -7,7 +7,10 @@ namespace bng::net {
 
 Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
                  LinkParams params, Rng& rng)
-    : queue_(queue), topology_(topology), params_(params) {
+    : queue_(queue),
+      topology_(topology),
+      params_(params),
+      interner_(std::make_shared<BlockInterner>()) {
   const std::uint32_t n = topology_.num_nodes();
   handlers_.resize(n, nullptr);
   offline_.resize(n, false);
@@ -18,13 +21,16 @@ Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel
   for (NodeId v = 0; v < n; ++v)
     offset_[v + 1] = offset_[v] + static_cast<std::uint32_t>(topology_.peers(v).size());
   row_sorted_.resize(offset_[n]);
+  edge_from_.resize(offset_[n]);
   for (NodeId v = 0; v < n; ++v) {
     const auto& adj = topology_.peers(v);
     std::copy(adj.begin(), adj.end(), row_sorted_.begin() + offset_[v]);
     std::sort(row_sorted_.begin() + offset_[v], row_sorted_.begin() + offset_[v + 1]);
+    std::fill(edge_from_.begin() + offset_[v], edge_from_.begin() + offset_[v + 1], v);
   }
   latency_.resize(offset_[n], 0);
   busy_until_.resize(offset_[n], 0);
+  fifo_.resize(offset_[n]);
 
   // Draw a symmetric latency per undirected edge, once, like the paper's
   // fixed per-pair assignment. Iteration order matches the pre-CSR
@@ -86,12 +92,45 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   busy_until_[e] = done_sending;
   const Seconds arrival = done_sending + latency_[e];
 
-  queue_.schedule_at(arrival, [this, from, to, msg = std::move(msg)] {
-    if (offline_[to]) return;
-    INode* handler = handlers_[to];
-    if (handler == nullptr) throw std::logic_error("Network: message for unattached node");
-    handler->on_message(from, msg);
-  });
+  // Event train: only the idle->busy transition touches the event queue; a
+  // busy link just grows its FIFO (delivery re-arms on pop).
+  LinkFifo& f = fifo_[e];
+  const bool was_empty = f.empty();
+  f.q.push_back(InFlight{arrival, std::move(msg)});
+  ++in_flight_;
+  if (was_empty) {
+    ++active_links_;
+    queue_.schedule_at(arrival, DeliverHead{this, e});
+  }
+}
+
+void Network::deliver_head(std::uint32_t e) {
+  LinkFifo& f = fifo_[e];
+  MessagePtr msg = std::move(f.q[f.head].msg);
+  ++f.head;
+  --in_flight_;
+  if (f.empty()) {
+    f.q.clear();
+    f.head = 0;
+    --active_links_;
+  } else {
+    // Compact the delivered prefix once it dominates the vector, so a link
+    // that never fully drains holds O(in-flight) slots, not O(total ever
+    // sent). Amortized O(1) per message.
+    if (f.head >= 64 && f.head * 2 >= f.q.size()) {
+      f.q.erase(f.q.begin(), f.q.begin() + f.head);
+      f.head = 0;
+    }
+    // Re-arm before delivering: keeps this link's next delivery ahead (in
+    // schedule order) of any events the handler schedules now, matching the
+    // per-message scheduling the train replaced.
+    queue_.schedule_at(f.q[f.head].arrival, DeliverHead{this, e});
+  }
+  const NodeId to = row_sorted_[e];
+  if (offline_[to]) return;
+  INode* handler = handlers_[to];
+  if (handler == nullptr) throw std::logic_error("Network: message for unattached node");
+  handler->on_message(edge_from_[e], msg);
 }
 
 void Network::set_offline(NodeId node, bool offline) { offline_[node] = offline; }

@@ -7,16 +7,30 @@
 // latency even begins — this is what creates the linear size/latency
 // relation of Fig 7 and the fork pressure of Fig 8b.
 //
-// Fast-path design: the per-edge state (latency, link-busy horizon) lives in
-// CSR-style flat arrays indexed by a directed-edge slot resolved once at
-// construction, so send() is a short binary search over one adjacency row
-// plus pure array arithmetic — no hash maps anywhere on the message path.
+// Fast-path design: the per-edge state (latency, link-busy horizon, in-flight
+// FIFO) lives in CSR-style flat arrays indexed by a directed-edge slot
+// resolved once at construction, so send() is a short scan over one adjacency
+// row plus pure array arithmetic — no hash maps anywhere on the message path.
+//
+// Per-link event trains: a store-and-forward link delivers in order, so each
+// directed edge keeps one FIFO of in-flight messages and at most ONE
+// scheduled delivery event (for the head's arrival). Sending onto a busy
+// link is a FIFO push with no event-queue traffic; the delivery callback is
+// a trivially-copyable {Network*, edge} pair that re-arms itself for the next
+// queued message. The pending-event set is O(active links), not O(in-flight
+// messages) — under a gossip burst that is an order of magnitude smaller.
+//
+// The Network also owns the experiment-wide BlockInterner: it is the one
+// object every protocol node of a deployment shares, so it is the natural
+// home for the Hash256 -> BlockId assignment that block trees, gossip sets
+// and wire messages key their hot state by (see common/intern.hpp).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/intern.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/event_queue.hpp"
@@ -78,12 +92,21 @@ class Network {
   [[nodiscard]] EventQueue& queue() { return queue_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
 
+  /// The experiment-wide block-identity interner shared by every node of
+  /// this deployment (trees, gossip sets, wire messages).
+  [[nodiscard]] const std::shared_ptr<BlockInterner>& interner() const { return interner_; }
+
   /// One-way latency of the (a, b) edge; throws if absent.
   [[nodiscard]] Seconds edge_latency(NodeId a, NodeId b) const;
 
   /// Total bytes ever put on the wire (payload + overhead).
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+  /// Messages currently queued on links (sent, not yet delivered).
+  [[nodiscard]] std::uint64_t messages_in_flight() const { return in_flight_; }
+  /// Directed links with a non-empty FIFO == scheduled delivery events.
+  [[nodiscard]] std::uint32_t active_links() const { return active_links_; }
 
   /// Partition control (for churn / attack experiments): while a node is
   /// offline its inbound and outbound messages are dropped.
@@ -93,6 +116,30 @@ class Network {
  private:
   static constexpr std::uint32_t kNoEdge = UINT32_MAX;
 
+  /// A message riding a link, waiting for its arrival time.
+  struct InFlight {
+    Seconds arrival;
+    MessagePtr msg;
+  };
+
+  /// Per-directed-edge FIFO; `head` indexes the next message to deliver.
+  /// The invariant "a delivery event is scheduled iff the FIFO is non-empty"
+  /// makes a separate scheduled flag unnecessary.
+  struct LinkFifo {
+    std::vector<InFlight> q;
+    std::uint32_t head = 0;
+    [[nodiscard]] bool empty() const { return head == q.size(); }
+  };
+
+  /// The scheduled per-link delivery callback: trivially copyable, 12 bytes.
+  struct DeliverHead {
+    Network* net;
+    std::uint32_t edge;
+    void operator()() const { net->deliver_head(edge); }
+  };
+
+  void deliver_head(std::uint32_t edge);
+
   /// Directed-edge slot for (from, to): position of `to` in `from`'s sorted
   /// adjacency row, offset by the CSR row start. kNoEdge if absent.
   [[nodiscard]] std::uint32_t find_edge(NodeId from, NodeId to) const;
@@ -100,6 +147,7 @@ class Network {
   EventQueue& queue_;
   Topology topology_;
   LinkParams params_;
+  std::shared_ptr<BlockInterner> interner_;
   std::vector<INode*> handlers_;
   std::vector<bool> offline_;
 
@@ -108,11 +156,15 @@ class Network {
   // still Topology's original order (peers()); only lookups use these rows.
   std::vector<std::uint32_t> offset_;      // num_nodes + 1
   std::vector<NodeId> row_sorted_;         // peer id per directed-edge slot
+  std::vector<NodeId> edge_from_;          // source node per directed-edge slot
   std::vector<Seconds> latency_;           // per directed-edge slot, symmetric
   std::vector<Seconds> busy_until_;        // per directed-edge slot (directed)
+  std::vector<LinkFifo> fifo_;             // per directed-edge slot
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
+  std::uint64_t in_flight_ = 0;
+  std::uint32_t active_links_ = 0;
 };
 
 }  // namespace bng::net

@@ -19,19 +19,19 @@ NgNode::NgNode(NodeId id, net::Network& net, chain::BlockPtr genesis,
       reward_address_(chain::address_of(leader_pk_)) {}
 
 bool NgNode::is_leader() const {
-  if (my_latest_key_block_.is_zero()) return false;
+  if (my_latest_key_block_ == kNoBlockId) return false;
   const auto& tip = tree_.best_entry();
-  const auto& epoch = tree_.entry(tip.epoch_key_block);
-  return epoch.block->id() == my_latest_key_block_;
+  return tree_.entry(tip.epoch_key_block).id == my_latest_key_block_;
 }
 
 void NgNode::on_mining_win(double work) {
   const std::uint32_t tip = tree_.best_tip();
   chain::BlockPtr block = build_key_block(tip, work);
   ++key_blocks_mined_;
-  my_latest_key_block_ = block->id();
+  const BlockId block_id = tree_.intern(block->id());
+  my_latest_key_block_ = block_id;
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
-  accept_block(block, id_, work);
+  accept_block(block, block_id, id_, work);
   // Begin (or continue) emitting microblocks for the new epoch.
   schedule_microblock_tick();
 }
@@ -82,8 +82,9 @@ void NgNode::microblock_tick() {
   const std::uint32_t tip = tree_.best_tip();
   chain::BlockPtr block = build_microblock(tip);
   ++microblocks_generated_;
+  const BlockId block_id = tree_.intern(block->id());
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
-  accept_block(block, id_, /*work=*/0.0);
+  accept_block(block, block_id, id_, /*work=*/0.0);
   schedule_microblock_tick();
 }
 
@@ -100,8 +101,9 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
   while (!pending_frauds_.empty()) {
     FraudEvidence evidence = std::move(pending_frauds_.front());
     pending_frauds_.pop_front();
-    if (poisoned_epochs_.count(evidence.accused_key_block) > 0) continue;
-    if (evidence.accused_key_block == my_latest_key_block_) continue;  // self
+    const BlockId accused_id = tree_.intern(evidence.accused_key_block);
+    if (poisoned_epochs_.contains(accused_id)) continue;
+    if (accused_id == my_latest_key_block_) continue;  // self
     const Amount revocable = compute_revocable(tree_, tip, evidence.accused_key_block);
     const chain::BlockHeader* pruned = select_pruned_header(tree_, tip, evidence);
     bool placed = false;
@@ -112,7 +114,7 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
             cfg_.params.poison_reward_fraction * static_cast<double>(revocable));
         txs.push_back(
             make_poison_tx(evidence.accused_key_block, *pruned, reward_address_, bounty));
-        poisoned_epochs_.insert(evidence.accused_key_block);
+        poisoned_epochs_.insert(accused_id);
         ++poisons_placed_;
         placed = true;
       }
@@ -145,15 +147,16 @@ chain::BlockPtr NgNode::forge_microblock(const Hash256& parent_id) {
   if (!parent_idx) throw std::invalid_argument("forge_microblock: unknown parent");
   chain::BlockPtr block = build_microblock(*parent_idx);
   ++microblocks_generated_;
+  const BlockId block_id = tree_.intern(block->id());
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
   // Bypass normal acceptance: announce only (the forger may withhold it from
   // its own tree to keep its view consistent).
-  known_.insert(block->id());
-  if (!tree_.contains(block->id())) {
+  known_.insert(block_id);
+  if (!tree_.contains_id(block_id)) {
     // Insert so we can serve getdata for it.
-    if (tree_.contains(block->header().prev)) tree_.insert(block, now(), 0.0);
+    if (tree_.contains(block->header().prev)) tree_.insert(block, block_id, now(), 0.0);
   }
-  announce(block->id(), id_);
+  announce(block_id, id_);
   return block;
 }
 
@@ -165,20 +168,20 @@ void NgNode::note_microblock(const chain::BlockPtr& block, std::uint32_t parent_
   }
 }
 
-void NgNode::handle_block(const chain::BlockPtr& block, NodeId from) {
-  if (tree_.contains(block->id())) return;
+void NgNode::handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) {
+  if (tree_.contains_id(id)) return;
   if (auto r = chain::check_size(*block, cfg_.params); !r.ok) return;
 
   switch (block->type()) {
     case chain::BlockType::kKey: {
       if (auto r = chain::check_key_block(*block); !r.ok) return;
-      if (!ensure_parent(block, from)) return;
-      accept_block(block, from, block->work());
+      if (ensure_parent(block, id, from) == chain::BlockTree::kNoIndex) return;
+      accept_block(block, id, from, block->work());
       break;
     }
     case chain::BlockType::kMicro: {
-      if (!ensure_parent(block, from)) return;
-      const std::uint32_t parent_idx = *tree_.find(block->header().prev);
+      const std::uint32_t parent_idx = ensure_parent(block, id, from);
+      if (parent_idx == chain::BlockTree::kNoIndex) return;
       const auto& parent = tree_.entry(parent_idx);
       const auto& epoch = tree_.entry(parent.epoch_key_block);
       if (!epoch.block->header().leader_key) return;  // no leader yet: invalid
@@ -187,7 +190,7 @@ void NgNode::handle_block(const chain::BlockPtr& block, NodeId from) {
                                        cfg_.verify_signatures);
       if (!r.ok) return;
       note_microblock(block, parent_idx);
-      accept_block(block, from, /*work=*/0.0);
+      accept_block(block, id, from, /*work=*/0.0);
       break;
     }
     case chain::BlockType::kPow:

@@ -38,7 +38,7 @@ class NgNode : public protocol::BaseNode {
   chain::BlockPtr forge_microblock(const Hash256& parent_id);
 
  protected:
-  void handle_block(const chain::BlockPtr& block, NodeId from) override;
+  void handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) override;
 
  private:
   void schedule_microblock_tick();
@@ -51,11 +51,13 @@ class NgNode : public protocol::BaseNode {
   crypto::PrivateKey leader_sk_;
   crypto::PublicKey leader_pk_;
   Hash256 reward_address_;
-  Hash256 my_latest_key_block_;
+  /// Interned id of the newest key block this node mined; kNoBlockId before
+  /// the first win. Leadership checks are then a u32 compare per tick.
+  BlockId my_latest_key_block_ = kNoBlockId;
   bool tick_scheduled_ = false;
   EquivocationDetector detector_;
   std::deque<FraudEvidence> pending_frauds_;
-  std::unordered_set<Hash256, Hash256Hasher> poisoned_epochs_;
+  FlatIdSet poisoned_epochs_;  ///< accused key blocks already poisoned (by id)
 
   std::uint64_t key_blocks_mined_ = 0;
   std::uint64_t microblocks_generated_ = 0;

@@ -21,7 +21,8 @@ BaseNode::BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeCo
       net_(net),
       cfg_(std::move(cfg)),
       rng_(rng),
-      tree_(std::move(genesis), cfg_.params.tie_break, fork_choice_for(cfg_.params), &rng_),
+      tree_(std::move(genesis), cfg_.params.tie_break, fork_choice_for(cfg_.params), &rng_,
+            net.interner()),
       observer_(observer) {
   if (cfg_.workload_mode == WorkloadMode::kSynthetic && cfg_.workload == nullptr)
     throw std::invalid_argument("BaseNode: synthetic mode needs a workload");
@@ -44,7 +45,7 @@ void BaseNode::on_message(NodeId from, const net::MessagePtr& msg) {
 }
 
 void BaseNode::handle_inv(NodeId from, const InvMessage& inv) {
-  if (known_.count(inv.block_id) > 0 || requested_.count(inv.block_id) > 0) return;
+  if (known_.contains(inv.block_id) || requested_.contains(inv.block_id)) return;
   requested_.insert(inv.block_id);
   net_.send(id_, from, make_pooled<GetDataMessage>(inv.block_id));
 }
@@ -54,25 +55,27 @@ void BaseNode::handle_getdata(NodeId from, const GetDataMessage& req) {
   if (block != nullptr) net_.send(id_, from, make_pooled<BlockMessage>(std::move(block)));
 }
 
-chain::BlockPtr BaseNode::find_block(const Hash256& id) const {
-  if (auto idx = tree_.find(id)) return tree_.entry(*idx).block;
-  for (const auto& [parent, list] : orphans_)
-    for (const auto& [block, from] : list)
-      if (block->id() == id) return block;
+chain::BlockPtr BaseNode::find_block(BlockId id) const {
+  if (const std::uint32_t idx = tree_.index_of_id(id); idx != chain::BlockTree::kNoIndex)
+    return tree_.entry(idx).block;
+  for (const Orphan& o : orphans_)
+    if (o.id == id) return o.block;
   return nullptr;
 }
 
 void BaseNode::handle_block_msg(NodeId from, const BlockMessage& msg) {
   const chain::BlockPtr& block = msg.block;
-  const Hash256 id = block->id();
+  // The one interner touch per (node, block): every later membership or
+  // index lookup is a flat array read keyed by this id.
+  const BlockId id = tree_.intern(block->id());
   requested_.erase(id);
-  if (known_.count(id) > 0) return;
+  if (known_.contains(id)) return;
   known_.insert(id);
   // Model verification cost on this node's CPU, then hand to the protocol.
   const Seconds cost =
       cfg_.verify_fixed +
       static_cast<double>(block->wire_size()) / cfg_.verify_bytes_per_second;
-  process_after(cost, [this, block, from] { handle_block(block, from); });
+  process_after(cost, [this, block, id, from] { handle_block(block, id, from); });
 }
 
 void BaseNode::process_after(Seconds cost, net::EventQueue::Callback fn) {
@@ -81,7 +84,7 @@ void BaseNode::process_after(Seconds cost, net::EventQueue::Callback fn) {
   net_.queue().schedule_at(cpu_busy_until_, std::move(fn));
 }
 
-void BaseNode::announce(const Hash256& id, NodeId except) {
+void BaseNode::announce(BlockId id, NodeId except) {
   // One immutable inv shared across the whole fan-out: broadcast costs one
   // pooled allocation, not one per neighbour.
   net::MessagePtr inv;
@@ -92,37 +95,47 @@ void BaseNode::announce(const Hash256& id, NodeId except) {
   }
 }
 
-std::uint32_t BaseNode::accept_block(const chain::BlockPtr& block, NodeId from, double work) {
+std::uint32_t BaseNode::accept_block(const chain::BlockPtr& block, BlockId id, NodeId from,
+                                     double work) {
   const std::uint32_t old_tip = tree_.best_tip();
-  const std::uint32_t index = tree_.insert(block, now(), work);
-  known_.insert(block->id());
+  const std::uint32_t index = tree_.insert(block, id, now(), work);
+  known_.insert(id);
   if (cfg_.workload_mode == WorkloadMode::kFullMempool) {
     const std::uint32_t new_tip = tree_.best_tip();
     if (new_tip != old_tip) update_mempool_for_tip_change(old_tip, new_tip);
   }
-  if (should_relay(index)) announce(block->id(), from);
+  if (should_relay(index)) announce(id, from);
   after_accept(block, index, old_tip);
-  resolve_orphans(block->id());
+  resolve_orphans(id);
   return index;
 }
 
-bool BaseNode::ensure_parent(const chain::BlockPtr& block, NodeId from) {
-  const Hash256& parent = block->header().prev;
-  if (tree_.contains(parent)) return true;
-  orphans_[parent].emplace_back(block, from);
-  if (requested_.count(parent) == 0 && known_.count(parent) == 0 && from != id_) {
-    requested_.insert(parent);
-    net_.send(id_, from, make_pooled<GetDataMessage>(parent));
+std::uint32_t BaseNode::ensure_parent(const chain::BlockPtr& block, BlockId id,
+                                      NodeId from) {
+  const BlockId parent_id = tree_.intern(block->header().prev);
+  const std::uint32_t parent_idx = tree_.index_of_id(parent_id);
+  if (parent_idx != chain::BlockTree::kNoIndex) return parent_idx;
+  orphans_.push_back(Orphan{parent_id, id, block, from});
+  if (!requested_.contains(parent_id) && !known_.contains(parent_id) && from != id_) {
+    requested_.insert(parent_id);
+    net_.send(id_, from, make_pooled<GetDataMessage>(parent_id));
   }
-  return false;
+  return chain::BlockTree::kNoIndex;
 }
 
-void BaseNode::resolve_orphans(const Hash256& parent_id) {
-  auto it = orphans_.find(parent_id);
-  if (it == orphans_.end()) return;
-  auto waiting = std::move(it->second);
-  orphans_.erase(it);
-  for (auto& [block, from] : waiting) handle_block(block, from);
+void BaseNode::resolve_orphans(BlockId parent_id) {
+  // Extract the waiting children in arrival order before re-entering
+  // handle_block (which may itself accept blocks and recurse here).
+  std::vector<Orphan> waiting;
+  for (std::size_t i = 0; i < orphans_.size();) {
+    if (orphans_[i].parent == parent_id) {
+      waiting.push_back(std::move(orphans_[i]));
+      orphans_.erase(orphans_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  for (Orphan& o : waiting) handle_block(o.block, o.id, o.from);
 }
 
 std::vector<chain::TxPtr> BaseNode::assemble_payload(std::uint32_t tip, std::size_t max_bytes,

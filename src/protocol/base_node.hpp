@@ -1,16 +1,21 @@
 // Shared machinery for protocol nodes: gossip, orphan handling, a CPU model
 // for block verification, and mempool/workload bookkeeping.
+//
+// Hot-path state is keyed by interned BlockId (common/intern.hpp), shared
+// experiment-wide through the Network: the seen/requested gossip sets are
+// epoch-stamped flat arrays, the orphan buffer is a small flat vector, and
+// the inv/getdata flow never hashes a Hash256. The block hash is computed
+// and interned exactly once per (node, block) — when the body first arrives.
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "chain/block_tree.hpp"
 #include "chain/mempool.hpp"
 #include "chain/params.hpp"
+#include "common/intern.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
@@ -77,20 +82,22 @@ class BaseNode : public net::INode {
 
  protected:
   /// Protocol-specific validation + insertion. Runs after the verification
-  /// delay. Implementations call accept_block() when the block is valid.
-  virtual void handle_block(const chain::BlockPtr& block, NodeId from) = 0;
+  /// delay. `id` is the block's interned identity (computed once on receipt).
+  /// Implementations call accept_block() when the block is valid.
+  virtual void handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) = 0;
 
   /// Insert into the tree, relay, resolve orphans, maintain the mempool.
   /// Returns the tree index.
-  std::uint32_t accept_block(const chain::BlockPtr& block, NodeId from, double work);
+  std::uint32_t accept_block(const chain::BlockPtr& block, BlockId id, NodeId from,
+                             double work);
 
   /// Announce a block id to all neighbours except `except`.
-  void announce(const Hash256& id, NodeId except);
+  void announce(BlockId id, NodeId except);
 
-  /// If the block's parent is in the tree, returns true. Otherwise buffers
-  /// the block as an orphan, requests the parent from `from`, and returns
-  /// false.
-  bool ensure_parent(const chain::BlockPtr& block, NodeId from);
+  /// If the block's parent is in the tree, returns its tree index. Otherwise
+  /// buffers the block as an orphan, requests the parent from `from`, and
+  /// returns chain::BlockTree::kNoIndex.
+  std::uint32_t ensure_parent(const chain::BlockPtr& block, BlockId id, NodeId from);
 
   /// Queue `fn` on this node's CPU after `cost` seconds of processing.
   void process_after(Seconds cost, net::EventQueue::Callback fn);
@@ -127,18 +134,24 @@ class BaseNode : public net::INode {
   chain::Mempool mempool_;
   IBlockObserver* observer_;
 
-  /// Block bodies known but whose parent is missing: parent id -> blocks.
-  std::unordered_map<Hash256, std::vector<std::pair<chain::BlockPtr, NodeId>>, Hash256Hasher>
-      orphans_;
-  std::unordered_set<Hash256, Hash256Hasher> known_;      ///< seen bodies
-  std::unordered_set<Hash256, Hash256Hasher> requested_;  ///< outstanding getdata
+  /// Block bodies known but whose parent is missing. Orphans are rare and
+  /// few, so a flat vector scanned by interned parent id beats a hash map.
+  struct Orphan {
+    BlockId parent;
+    BlockId id;
+    chain::BlockPtr block;
+    NodeId from;
+  };
+  std::vector<Orphan> orphans_;
+  FlatIdSet known_;      ///< seen bodies (by interned id)
+  FlatIdSet requested_;  ///< outstanding getdata (by interned id)
 
  private:
   void handle_inv(NodeId from, const InvMessage& inv);
   void handle_getdata(NodeId from, const GetDataMessage& req);
   void handle_block_msg(NodeId from, const BlockMessage& msg);
-  void resolve_orphans(const Hash256& parent_id);
-  [[nodiscard]] chain::BlockPtr find_block(const Hash256& id) const;
+  void resolve_orphans(BlockId parent_id);
+  [[nodiscard]] chain::BlockPtr find_block(BlockId id) const;
 
   Seconds cpu_busy_until_ = 0;
 };

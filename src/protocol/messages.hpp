@@ -1,7 +1,15 @@
 // Wire messages for block gossip, mirroring bitcoind's inv/getdata/block flow.
+//
+// Announcements carry the interned BlockId, not the 32-byte hash: every
+// receiver of an inv/getdata resolves it with plain array indexing instead
+// of hashing. The simulated wire cost is unchanged (wire_size() still counts
+// the 36 bytes a real inv vector entry occupies); only the host-side
+// representation is compressed, the same way compact-block relay replaced
+// repeated full-hash lookups with short ids on the relay hot path.
 #pragma once
 
 #include "chain/block.hpp"
+#include "common/intern.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 
@@ -16,18 +24,18 @@ enum MessageKind : std::uint8_t {
 
 /// Announcement of a block id (bitcoind `inv`).
 struct InvMessage final : net::Message {
-  Hash256 block_id;
+  BlockId block_id;
 
-  explicit InvMessage(const Hash256& id) : net::Message(kInvKind), block_id(id) {}
+  explicit InvMessage(BlockId id) : net::Message(kInvKind), block_id(id) {}
   [[nodiscard]] std::size_t wire_size() const override { return 36; }
   [[nodiscard]] const char* type_name() const override { return "inv"; }
 };
 
 /// Request for a block body (bitcoind `getdata`).
 struct GetDataMessage final : net::Message {
-  Hash256 block_id;
+  BlockId block_id;
 
-  explicit GetDataMessage(const Hash256& id) : net::Message(kGetDataKind), block_id(id) {}
+  explicit GetDataMessage(BlockId id) : net::Message(kGetDataKind), block_id(id) {}
   [[nodiscard]] std::size_t wire_size() const override { return 36; }
   [[nodiscard]] const char* type_name() const override { return "getdata"; }
 };

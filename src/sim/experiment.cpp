@@ -90,7 +90,8 @@ void Experiment::build_nodes() {
   network_ =
       std::make_unique<net::Network>(queue_, topology, latency, cfg_.link, latency_rng);
 
-  trace_ = std::make_unique<TraceRecorder>(genesis_);
+  // Share the deployment-wide interner so global-tree and node-tree ids agree.
+  trace_ = std::make_unique<TraceRecorder>(genesis_, network_->interner());
 
   powers_ = cfg_.custom_powers ? *cfg_.custom_powers
                                : exponential_powers(cfg_.num_nodes, cfg_.power_exponent);

@@ -2,21 +2,28 @@
 
 namespace bng::sim {
 
-TraceRecorder::TraceRecorder(chain::BlockPtr genesis)
+namespace {
+constexpr std::uint32_t kNoRecord = UINT32_MAX;
+}  // namespace
+
+TraceRecorder::TraceRecorder(chain::BlockPtr genesis, std::shared_ptr<BlockInterner> interner)
     : tree_(std::move(genesis), chain::TieBreak::kFirstSeen,
-            chain::BlockTree::ForkChoice::kHeaviestChain, nullptr) {}
+            chain::BlockTree::ForkChoice::kHeaviestChain, nullptr, std::move(interner)) {}
 
 void TraceRecorder::on_block_generated(const chain::BlockPtr& block, NodeId miner,
                                        Seconds at) {
-  index_.emplace(block->id(), generated_.size());
-  generated_.push_back(Generated{block, miner, at});
+  const BlockId id = tree_.intern(block->id());
+  if (id >= index_by_id_.size()) index_by_id_.resize(id + 1, kNoRecord);
+  if (index_by_id_[id] == kNoRecord)
+    index_by_id_[id] = static_cast<std::uint32_t>(generated_.size());
+  generated_.push_back(Generated{block, id, miner, at});
   if (block->type() == chain::BlockType::kMicro)
     ++micro_blocks_;
   else
     ++pow_blocks_;
   // A miner can only extend a block that exists, so the parent is always
   // already present in the reference tree.
-  if (!tree_.contains(block->id())) tree_.insert(block, at, block->work());
+  if (!tree_.contains_id(id)) tree_.insert(block, id, at, block->work());
 }
 
 void TraceRecorder::on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) {
@@ -24,9 +31,12 @@ void TraceRecorder::on_fraud_detected(NodeId detector, const Hash256& accused, S
 }
 
 std::optional<std::size_t> TraceRecorder::find(const Hash256& id) const {
-  auto it = index_.find(id);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  return find_by_id(tree_.interner().lookup(id));
+}
+
+std::optional<std::size_t> TraceRecorder::find_by_id(BlockId id) const {
+  if (id >= index_by_id_.size() || index_by_id_[id] == kNoRecord) return std::nullopt;
+  return index_by_id_[id];
 }
 
 }  // namespace bng::sim

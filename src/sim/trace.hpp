@@ -3,13 +3,19 @@
 // Nodes report generated blocks through IBlockObserver; the recorder keeps
 // the generation registry and a reference block tree built at generation
 // times, from which the metrics suite derives the eventual main chain.
+//
+// The recorder shares the deployment's BlockInterner (pass the network's),
+// so its generation registry and reference tree agree on BlockId with every
+// node tree — the metrics pass maps node entries to global entries with
+// plain array indexing instead of per-block hash lookups.
 #pragma once
 
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "chain/block_tree.hpp"
+#include "common/intern.hpp"
 #include "common/types.hpp"
 #include "protocol/observer.hpp"
 
@@ -19,6 +25,7 @@ class TraceRecorder : public protocol::IBlockObserver {
  public:
   struct Generated {
     chain::BlockPtr block;
+    BlockId id = kNoBlockId;  ///< interned identity
     NodeId miner = kNoNode;
     Seconds at = 0;
   };
@@ -29,7 +36,11 @@ class TraceRecorder : public protocol::IBlockObserver {
     Seconds at = 0;
   };
 
-  explicit TraceRecorder(chain::BlockPtr genesis);
+  /// Pass the deployment-wide interner (net::Network::interner()) so ids
+  /// agree across the global tree and every node tree; a standalone recorder
+  /// may pass nullptr and owns a private interner.
+  explicit TraceRecorder(chain::BlockPtr genesis,
+                         std::shared_ptr<BlockInterner> interner = nullptr);
 
   void on_block_generated(const chain::BlockPtr& block, NodeId miner, Seconds at) override;
   void on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) override;
@@ -43,14 +54,15 @@ class TraceRecorder : public protocol::IBlockObserver {
   /// Reference tree: every generated block at its generation time.
   [[nodiscard]] const chain::BlockTree& global_tree() const { return tree_; }
 
-  /// Generation record for a block id, if any.
+  /// Generation record index for a block, if any.
   [[nodiscard]] std::optional<std::size_t> find(const Hash256& id) const;
+  [[nodiscard]] std::optional<std::size_t> find_by_id(BlockId id) const;
   [[nodiscard]] const Generated& record(std::size_t idx) const { return generated_[idx]; }
 
  private:
   std::vector<Generated> generated_;
   std::vector<FraudEvent> frauds_;
-  std::unordered_map<Hash256, std::size_t, Hash256Hasher> index_;
+  std::vector<std::uint32_t> index_by_id_;  ///< BlockId -> generated_ index
   chain::BlockTree tree_;
   std::uint64_t pow_blocks_ = 0;
   std::uint64_t micro_blocks_ = 0;

@@ -1,0 +1,79 @@
+#include "common/intern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace bng {
+namespace {
+
+Hash256 h(std::uint64_t tag) { return crypto::sha256(std::to_string(tag)); }
+
+TEST(BlockInterner, AssignsDenseIdsInFirstSightOrder) {
+  BlockInterner in;
+  EXPECT_EQ(in.size(), 0u);
+  EXPECT_EQ(in.intern(h(1)), 0u);
+  EXPECT_EQ(in.intern(h(2)), 1u);
+  EXPECT_EQ(in.intern(h(3)), 2u);
+  // Re-interning is idempotent and does not mint a new id.
+  EXPECT_EQ(in.intern(h(2)), 1u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(BlockInterner, LookupDoesNotAssign) {
+  BlockInterner in;
+  in.intern(h(1));
+  EXPECT_EQ(in.lookup(h(1)), 0u);
+  EXPECT_EQ(in.lookup(h(99)), kNoBlockId);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(BlockInterner, HashOfRoundTrips) {
+  BlockInterner in;
+  for (std::uint64_t i = 0; i < 100; ++i) in.intern(h(i));
+  for (BlockId id = 0; id < 100; ++id) EXPECT_EQ(in.intern(in.hash_of(id)), id);
+  EXPECT_THROW((void)in.hash_of(100), std::out_of_range);
+}
+
+TEST(FlatIdSet, InsertContainsErase) {
+  FlatIdSet set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_FALSE(set.contains(12345));  // far past the backing array: no growth
+  set.insert(7);
+  set.insert(700);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_TRUE(set.contains(700));
+  EXPECT_FALSE(set.contains(8));
+  set.erase(7);
+  EXPECT_FALSE(set.contains(7));
+  EXPECT_TRUE(set.contains(700));
+  set.erase(7);       // double-erase is a no-op
+  set.erase(999999);  // erasing an id past the array is a no-op
+  EXPECT_FALSE(set.contains(7));
+}
+
+TEST(FlatIdSet, ClearIsEpochBump) {
+  FlatIdSet set;
+  for (BlockId id = 0; id < 64; ++id) set.insert(id);
+  set.clear();
+  for (BlockId id = 0; id < 64; ++id) EXPECT_FALSE(set.contains(id));
+  // Membership works again after the bump.
+  set.insert(3);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+}
+
+TEST(FlatIdSet, ManyClearsKeepSemantics) {
+  // A long-lived set survives thousands of epoch bumps without bleed-through.
+  FlatIdSet set;
+  for (int round = 0; round < 5000; ++round) {
+    const BlockId id = static_cast<BlockId>(round % 97);
+    set.insert(id);
+    ASSERT_TRUE(set.contains(id));
+    set.clear();
+    ASSERT_FALSE(set.contains(id));
+  }
+}
+
+}  // namespace
+}  // namespace bng

@@ -162,6 +162,75 @@ TEST_F(NetworkTest, LinkSerializesLongTrainInOrder) {
   }
 }
 
+// Event trains: one scheduled delivery event per busy link, however many
+// messages ride it. The pending-event set must be O(active links), not
+// O(in-flight messages).
+TEST_F(NetworkTest, PendingEventsBoundedByActiveLinks) {
+  constexpr int kPerLink = 40;
+  for (int i = 0; i < kPerLink; ++i) {
+    net_.send(0, 1, std::make_shared<TestMessage>(1250, i));        // link 0->1
+    net_.send(1, 0, std::make_shared<TestMessage>(1250, 100 + i));  // link 1->0
+    net_.send(1, 2, std::make_shared<TestMessage>(1250, 200 + i));  // link 1->2
+  }
+  EXPECT_EQ(net_.messages_in_flight(), 3u * kPerLink);
+  EXPECT_EQ(net_.active_links(), 3u);
+  // One event per active link; not one per message.
+  EXPECT_EQ(queue_.pending(), 3u);
+  queue_.run_all();
+  EXPECT_EQ(net_.messages_in_flight(), 0u);
+  EXPECT_EQ(net_.active_links(), 0u);
+  ASSERT_EQ(nodes_[1].received.size(), static_cast<std::size_t>(kPerLink));
+  ASSERT_EQ(nodes_[0].received.size(), static_cast<std::size_t>(kPerLink));
+  ASSERT_EQ(nodes_[2].received.size(), static_cast<std::size_t>(kPerLink));
+  for (int i = 0; i < kPerLink; ++i) {
+    EXPECT_EQ(nodes_[1].received[i].tag, i);  // FIFO per link
+    EXPECT_EQ(nodes_[0].received[i].tag, 100 + i);
+    EXPECT_EQ(nodes_[2].received[i].tag, 200 + i);
+  }
+}
+
+// A node going offline mid-train drops the queued remainder at delivery
+// time (same per-message semantics as the per-event implementation), and
+// the link drains cleanly for later traffic.
+TEST_F(NetworkTest, OfflineMidTrainDropsQueuedMessages) {
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 1));  // arrives at 0.2
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 2));  // arrives at 0.3
+  queue_.run_until(0.25);
+  ASSERT_EQ(nodes_[1].received.size(), 1u);
+  net_.set_offline(1, true);
+  queue_.run_all();
+  EXPECT_EQ(nodes_[1].received.size(), 1u);  // second message dropped
+  EXPECT_EQ(net_.messages_in_flight(), 0u);
+  EXPECT_EQ(net_.active_links(), 0u);
+  net_.set_offline(1, false);
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 3));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[1].received.size(), 2u);
+  EXPECT_EQ(nodes_[1].received[1].tag, 3);
+}
+
+// A handler replying instantly from inside a delivery (the inv -> getdata
+// pattern) must not disturb the serving link's train.
+TEST_F(NetworkTest, ReplyFromHandlerDoesNotDisturbTrain) {
+  struct Replier : INode {
+    Network* net = nullptr;
+    std::vector<int> tags;
+    void on_message(NodeId from, const MessagePtr& msg) override {
+      tags.push_back(static_cast<const TestMessage&>(*msg).tag);
+      if (tags.size() == 1) net->send(1, from, std::make_shared<TestMessage>(10, 99));
+    }
+  };
+  Replier replier;
+  replier.net = &net_;
+  net_.attach(1, &replier);
+  for (int i = 0; i < 5; ++i) net_.send(0, 1, std::make_shared<TestMessage>(1250, i));
+  queue_.run_all();
+  ASSERT_EQ(replier.tags.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(replier.tags[i], i);
+  ASSERT_EQ(nodes_[0].received.size(), 1u);  // the reply came back
+  EXPECT_EQ(nodes_[0].received[0].tag, 99);
+}
+
 // peers() must keep Topology's adjacency order — protocol broadcast order
 // (and therefore the whole deterministic replay) depends on it.
 TEST(NetworkStandalone, PeersKeepTopologyOrder) {

@@ -5,6 +5,8 @@
 // and seeds, bit-identical for any --jobs value.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "runner/emit.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
@@ -146,6 +148,79 @@ TEST(Emit, SeedsCsvUnionsPerPointMetricSets) {
   EXPECT_NE(csv.find("point,x,seed,digest,m1,m2\n"), std::string::npos) << csv;
   EXPECT_NE(csv.find("a,0,1,0000000000000abc,1.5,\n"), std::string::npos) << csv;
   EXPECT_NE(csv.find("b,0,2,0000000000000def,2.5,3.5\n"), std::string::npos) << csv;
+}
+
+// --- Golden determinism digests ---------------------------------------------
+//
+// FNV-1a digests of the smoke / fig6 / fig7 scenarios, recorded on the
+// pre-refactor simulation core (PR 2 tree) and asserted unchanged since: a
+// core rewrite that alters any of these changed simulation *semantics*, not
+// just speed. Values are exact for this container's toolchain; libm may
+// differ by an ulp across glibc versions (the RNG's exponential sampling),
+// so foreign machines can opt out via BNG_SKIP_GOLDEN_DIGEST=1.
+namespace golden {
+
+struct SeedDigest {
+  std::uint64_t seed;
+  std::uint64_t digest;
+};
+
+void expect_digests(const SweepResult& r, std::size_t point,
+                    std::initializer_list<SeedDigest> expected) {
+  ASSERT_LT(point, r.points.size());
+  ASSERT_EQ(r.points[point].seeds.size(), expected.size());
+  std::size_t i = 0;
+  for (const SeedDigest& e : expected) {
+    EXPECT_EQ(r.points[point].seeds[i].seed, e.seed);
+    EXPECT_EQ(r.points[point].seeds[i].digest, e.digest)
+        << "point " << point << " seed " << e.seed
+        << ": simulation semantics changed (digest drift)";
+    ++i;
+  }
+}
+
+bool skip_golden() { return std::getenv("BNG_SKIP_GOLDEN_DIGEST") != nullptr; }
+
+}  // namespace golden
+
+TEST(GoldenDigest, SmokeScenarioUnchangedByCoreRefactors) {
+  if (golden::skip_golden()) GTEST_SKIP() << "BNG_SKIP_GOLDEN_DIGEST set";
+  auto s = make_scenario("smoke", RunKnobs{40, 8});
+  ASSERT_TRUE(s.has_value());
+  const auto r = run_sweep(*s, options(2, 2));
+  ASSERT_EQ(r.points.size(), 2u);  // bitcoin, ng
+  golden::expect_digests(r, 0,
+                         {{100, 0xa0dcf111762417d6ull}, {101, 0xc153bcc6235bda08ull}});
+  golden::expect_digests(
+      r, 1, {{1000100, 0x24317e20288f5588ull}, {1000101, 0x5f64100e7be9f2f0ull}});
+}
+
+TEST(GoldenDigest, Fig6ScenarioUnchangedByCoreRefactors) {
+  if (golden::skip_golden()) GTEST_SKIP() << "BNG_SKIP_GOLDEN_DIGEST set";
+  auto s = make_scenario("fig6", RunKnobs{40, 8});
+  ASSERT_TRUE(s.has_value());
+  // First two sweep points only (test wall time); prefix truncation keeps
+  // per-point seeds identical to the full sweep's.
+  ASSERT_EQ(s->axes.size(), 1u);
+  s->axes[0].values.resize(2);
+  const auto r = run_sweep(*s, options(2, 2));
+  golden::expect_digests(r, 0,
+                         {{600, 0xa1acd14989606729ull}, {601, 0xa9226143f23b39eeull}});
+  golden::expect_digests(
+      r, 1, {{1000600, 0x711ff60d68b341c2ull}, {1000601, 0x44ad4cba0bb56405ull}});
+}
+
+TEST(GoldenDigest, Fig7ScenarioUnchangedByCoreRefactors) {
+  if (golden::skip_golden()) GTEST_SKIP() << "BNG_SKIP_GOLDEN_DIGEST set";
+  auto s = make_scenario("fig7", RunKnobs{40, 8});
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->axes.size(), 1u);
+  s->axes[0].values.resize(2);  // 20 kB and 40 kB points
+  const auto r = run_sweep(*s, options(2, 2));
+  golden::expect_digests(r, 0,
+                         {{700, 0x355ce007fc2316a7ull}, {701, 0xfe8c66ce5d395954ull}});
+  golden::expect_digests(
+      r, 1, {{1000700, 0x6232f74a15cb6639ull}, {1000701, 0xec109bd64ee843afull}});
 }
 
 TEST(Emit, JsonCarriesDigestsAndAggregates) {

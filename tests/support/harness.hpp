@@ -39,7 +39,7 @@ class MiniNet {
     }
     workload_.tx_wire_size = workload_.txs[0]->wire_size();
     workload_.fee_per_tx = 1000;
-    trace_ = std::make_unique<sim::TraceRecorder>(genesis_);
+    trace_ = std::make_unique<sim::TraceRecorder>(genesis_, network_.interner());
 
     for (NodeId i = 0; i < n; ++i) {
       protocol::NodeConfig cfg;
