@@ -7,7 +7,11 @@
 // honest Bitcoin network and reports its main-chain revenue share: the
 // crossover where revenue exceeds the power share should sit near 25%.
 //
-// Thin wrapper over the registered "ablation_selfish_mining" scenario.
+// Thin wrapper over the registered "ablation_selfish_mining" scenario,
+// which since PR 4 is expressed through the declarative sim::AdversarySpec
+// (kind=selfish, alpha axis) instead of a node_factory lambda — the numbers
+// are bit-identical to the lambda version. The full alpha x gamma x protocol
+// grid lives in the "selfish_threshold" scenario.
 #include <cstdio>
 
 #include "bench_common.hpp"

@@ -16,6 +16,7 @@
 #include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
 #include "net/event_queue.hpp"
+#include "net/fault_plan.hpp"
 #include "net/latency_model.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
@@ -179,6 +180,44 @@ void BM_NetworkLinkTrainPending(benchmark::State& state) {
   state.counters["pending_per_link"] = links > 0 ? max_pending / links : 0;
 }
 BENCHMARK(BM_NetworkLinkTrainPending)->Args({200, 16})->Args({1000, 16});
+
+void BM_NetworkSendFaultLayerOverhead(benchmark::State& state) {
+  // Witness for the fault layer's zero-cost guarantee: the same gossip burst
+  // through a network with an EMPTY FaultPlan scheduled (arg 1) vs. no plan
+  // at all (arg 0). Timings must match within noise, and the counters must
+  // be bit-identical — `counter_mismatch` is asserted 0 so a regression
+  // (an empty plan scheduling events or perturbing the send path) fails
+  // loudly rather than drifting.
+  const bool with_empty_plan = state.range(0) != 0;
+  const std::uint32_t n_nodes = 200;
+  Rng rng(42);
+  net::EventQueue q;
+  net::Topology topo = net::Topology::random(n_nodes, 5, rng);
+  net::Network net(q, topo, net::LatencyModel::constant(0.05),
+                   net::LinkParams{100'000.0, 40}, rng);
+  std::vector<bench::BenchSink> sinks(n_nodes);
+  for (NodeId i = 0; i < n_nodes; ++i) net.attach(i, &sinks[i]);
+  const std::size_t pending_before = q.pending();
+  if (with_empty_plan) net::schedule_faults(net, net::FaultPlan{});
+  double max_pending = 0;
+  for (auto _ : state) {
+    const auto msg = std::make_shared<bench::BenchMessage>();
+    for (NodeId a = 0; a < n_nodes; ++a)
+      for (NodeId b : net.peers(a)) net.send(a, b, msg);
+    max_pending = std::max(max_pending, static_cast<double>(q.pending()));
+    q.run_all();
+  }
+  state.counters["scheduled_by_plan"] =
+      static_cast<double>(q.pending() - pending_before);
+  state.counters["max_pending_events"] = max_pending;
+  state.counters["messages_sent"] = static_cast<double>(net.messages_sent());
+  // An empty plan must add zero events; any residue is a bug.
+  state.counters["counter_mismatch"] = q.pending() == pending_before ? 0 : 1;
+  if (q.pending() != pending_before) state.SkipWithError("empty FaultPlan scheduled events");
+}
+// Fixed iteration count so the two variants' counters (max_pending_events,
+// messages_sent) are directly comparable in the emitted JSON.
+BENCHMARK(BM_NetworkSendFaultLayerOverhead)->Arg(0)->Arg(1)->Iterations(64);
 
 chain::BlockPtr bench_block(chain::BlockType type, const Hash256& prev, std::uint64_t salt) {
   chain::BlockHeader h;

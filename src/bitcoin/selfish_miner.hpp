@@ -3,56 +3,18 @@
 // chain weight (§5.1: "If microblocks had carried weight, an attacker could
 // keep secret microblocks and gain advantage").
 //
-// Implements the SM1 strategy: withhold mined blocks, publish judiciously to
-// waste the honest network's work. With random tie-breaking the honest
-// network splits on races (gamma ~= 0.5), making the profitability
-// threshold ~= 25% — exactly the paper's assumed adversary bound.
+// The SM1 withhold/publish/race state machine lives in
+// protocol::WithholdingStrategy; this is its classic Bitcoin instantiation.
+// With random tie-breaking the honest network splits on races (gamma ~=
+// 0.5), making the profitability threshold ~= 25% — exactly the paper's
+// assumed adversary bound.
 #pragma once
 
-#include <deque>
-
 #include "bitcoin/bitcoin_node.hpp"
+#include "protocol/selfish_node.hpp"
 
 namespace bng::bitcoin {
 
-class SelfishMiner : public BitcoinNode {
- public:
-  SelfishMiner(NodeId id, net::Network& net, chain::BlockPtr genesis,
-               protocol::NodeConfig cfg, Rng rng, protocol::IBlockObserver* observer);
-
-  /// Mines on the *private* chain and withholds the block (SM1).
-  void on_mining_win(double work) override;
-
-  [[nodiscard]] std::size_t withheld() const { return private_blocks_.size(); }
-  [[nodiscard]] std::uint64_t blocks_published() const { return blocks_published_; }
-  [[nodiscard]] std::uint64_t branches_abandoned() const { return branches_abandoned_; }
-
- protected:
-  /// Reacts to honest blocks per SM1 (publish / match / abandon).
-  void after_accept(const chain::BlockPtr& block, std::uint32_t index,
-                    std::uint32_t old_tip) override;
-
-  /// Withheld blocks are never announced; published ones follow base policy.
-  [[nodiscard]] bool should_relay(std::uint32_t index) const override;
-
- private:
-  void publish_until(double target_work);
-  void publish_all();
-  void abandon_private_chain();
-  [[nodiscard]] double private_work() const;
-
-  /// Unpublished own blocks by interned id, oldest first (a suffix of the
-  /// private chain).
-  std::deque<BlockId> private_blocks_;
-  /// Heaviest publicly-known chain work (own published blocks included).
-  double public_best_work_ = 0;
-  /// True while the base class processes our own freshly-withheld block.
-  bool withholding_ = false;
-  /// Head-to-head race state (SM1's 0' state) and the contested work level.
-  bool racing_ = false;
-  double race_work_ = 0;
-  std::uint64_t blocks_published_ = 0;
-  std::uint64_t branches_abandoned_ = 0;
-};
+using SelfishMiner = protocol::SelfishNode<BitcoinNode>;
 
 }  // namespace bng::bitcoin

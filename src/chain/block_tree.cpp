@@ -98,7 +98,12 @@ std::uint32_t BlockTree::insert(const BlockPtr& block, BlockId id, Seconds recei
 
 bool BlockTree::tie_break_switch() {
   if (tie_break_ == TieBreak::kFirstSeen) return false;
-  return rng_->next_below(2) == 1;
+  // The unbiased default must keep the exact historical draw sequence
+  // (golden digests pin it); only a biased gamma takes the uniform() path.
+  if (tie_switch_prob_ == 0.5) return rng_->next_below(2) == 1;
+  if (tie_switch_prob_ <= 0.0) return false;
+  if (tie_switch_prob_ >= 1.0) return true;
+  return rng_->uniform() < tie_switch_prob_;
 }
 
 void BlockTree::maybe_switch_tip(std::uint32_t candidate, Seconds at) {
@@ -112,8 +117,13 @@ void BlockTree::maybe_switch_tip(std::uint32_t candidate, Seconds at) {
   if (cand.chain_work > best.chain_work) {
     set_tip(candidate, at);
   } else if (cand.chain_work == best.chain_work && !is_ancestor(candidate, best_tip_)) {
-    // Equal-weight fork: paper §3 prescribes random tie-breaking.
-    if (tie_break_switch()) set_tip(candidate, at);
+    // Equal-weight fork: paper §3 prescribes random tie-breaking — but only
+    // weight-bearing candidates draw the coin. A zero-weight block (an NG
+    // microblock, §4.2 "microblocks do not affect the weight of the chain")
+    // extending a rival equal-work branch gives that branch no new claim to
+    // the tip; re-rolling the tie per microblock would let a losing leader
+    // (or a selfish miner's revealed epoch) win settled races by attrition.
+    if (cand.block->work() > 0 && tie_break_switch()) set_tip(candidate, at);
   }
 }
 

@@ -72,6 +72,10 @@ class BlockTree {
   BlockTree(BlockPtr genesis, TieBreak tie_break, ForkChoice fork_choice, Rng* rng,
             std::shared_ptr<BlockInterner> interner = nullptr);
 
+  /// Gamma knob for kRandom tie-breaking (see Params::tie_switch_prob). The
+  /// 0.5 default keeps the original unbiased draw path bit-for-bit.
+  void set_tie_switch_prob(double p) { tie_switch_prob_ = p; }
+
   /// Insert a block whose parent is already in the tree. `work` is the PoW
   /// weight contributed (0 for microblocks). Returns the new entry's index.
   /// Throws if the parent is unknown or the block is a duplicate.
@@ -139,6 +143,7 @@ class BlockTree {
   [[nodiscard]] bool tie_break_switch();
 
   TieBreak tie_break_;
+  double tie_switch_prob_ = 0.5;
   ForkChoice fork_choice_;
   Rng* rng_;  ///< used for random tie-breaking only; may be null for kFirstSeen
   std::shared_ptr<BlockInterner> interner_;

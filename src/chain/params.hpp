@@ -57,6 +57,11 @@ struct Params {
 
   // --- Fork choice ---------------------------------------------------------
   TieBreak tie_break = TieBreak::kRandom;
+  /// Probability that kRandom tie-breaking switches to the newly-arrived
+  /// equal-work branch. 0.5 is the paper's unbiased coin; adversary sweeps
+  /// use it as the gamma knob (share of honest power an attacker's matching
+  /// block captures in a race). Ignored under kFirstSeen.
+  double tie_switch_prob = 0.5;
 
   /// Bitcoin-mainnet-flavoured defaults.
   static Params bitcoin() {

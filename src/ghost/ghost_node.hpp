@@ -8,6 +8,7 @@
 #pragma once
 
 #include "bitcoin/bitcoin_node.hpp"
+#include "protocol/selfish_node.hpp"
 
 namespace bng::ghost {
 
@@ -22,5 +23,9 @@ class GhostNode : public bitcoin::BitcoinNode {
     return true;
   }
 };
+
+/// SM1 against the heaviest-subtree rule: withheld blocks stay out of the
+/// honest subtree weighing, the publish/match/race schedule is unchanged.
+using SelfishGhostMiner = protocol::SelfishNode<GhostNode>;
 
 }  // namespace bng::ghost

@@ -29,6 +29,32 @@ std::uint32_t largest_miner(const Experiment& exp) {
       std::max_element(powers.begin(), powers.end()) - powers.begin());
 }
 
+/// Weight-bearing (non-micro) block counts, generated and on the eventual
+/// main chain, split by one designated node. Shared by fairness() and
+/// attacker_report() so the two accountings cannot drift apart.
+struct PowBlockCounts {
+  std::uint64_t gen_total = 0;
+  std::uint64_t gen_by_node = 0;
+  std::uint64_t main_total = 0;
+  std::uint64_t main_by_node = 0;
+};
+
+PowBlockCounts count_pow_blocks(const Experiment& exp, NodeId node) {
+  PowBlockCounts c;
+  const auto on_main = main_chain_flags(exp);
+  for (const auto& rec : exp.trace().generated()) {
+    if (rec.block->type() == chain::BlockType::kMicro) continue;
+    ++c.gen_total;
+    const bool by_node = rec.miner == node;
+    c.gen_by_node += by_node ? 1 : 0;
+    if (on_main[rec.id]) {
+      ++c.main_total;
+      c.main_by_node += by_node ? 1 : 0;
+    }
+  }
+  return c;
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> final_main_chain(const Experiment& exp) {
@@ -140,24 +166,12 @@ double consensus_delay(const Experiment& exp, double epsilon, double delta) {
 }
 
 double fairness(const Experiment& exp) {
-  const std::uint32_t big = largest_miner(exp);
-  const auto on_main = main_chain_flags(exp);
-  std::uint64_t gen_total = 0, gen_big = 0, main_total = 0, main_big = 0;
-  for (const auto& rec : exp.trace().generated()) {
-    if (rec.block->type() == chain::BlockType::kMicro) continue;
-    ++gen_total;
-    const bool by_big = rec.miner == big;
-    gen_big += by_big ? 1 : 0;
-    if (on_main[rec.id]) {
-      ++main_total;
-      main_big += by_big ? 1 : 0;
-    }
-  }
-  if (gen_total == 0 || main_total == 0 || gen_big == gen_total) return 0.0;
-  const double main_ratio =
-      static_cast<double>(main_total - main_big) / static_cast<double>(main_total);
-  const double gen_ratio =
-      static_cast<double>(gen_total - gen_big) / static_cast<double>(gen_total);
+  const PowBlockCounts c = count_pow_blocks(exp, largest_miner(exp));
+  if (c.gen_total == 0 || c.main_total == 0 || c.gen_by_node == c.gen_total) return 0.0;
+  const double main_ratio = static_cast<double>(c.main_total - c.main_by_node) /
+                            static_cast<double>(c.main_total);
+  const double gen_ratio = static_cast<double>(c.gen_total - c.gen_by_node) /
+                           static_cast<double>(c.gen_total);
   return main_ratio / gen_ratio;
 }
 
@@ -268,6 +282,31 @@ double transaction_frequency(const Experiment& exp) {
   const Seconds duration = tip.received;
   if (duration <= 0) return 0.0;
   return static_cast<double>(tip.chain_tx_count) / duration;
+}
+
+AttackerReport attacker_report(const Experiment& exp, NodeId attacker) {
+  AttackerReport r;
+  const PowBlockCounts c = count_pow_blocks(exp, attacker);
+  r.total_generated = c.gen_total;
+  r.attacker_generated = c.gen_by_node;
+  r.main_blocks = static_cast<std::uint32_t>(c.main_total);
+  r.attacker_main_blocks = static_cast<std::uint32_t>(c.main_by_node);
+  const auto& powers = exp.powers();
+  double total_power = 0;
+  for (double p : powers) total_power += p;
+  if (attacker < powers.size() && total_power > 0)
+    r.fair_share = powers[attacker] / total_power;
+  if (r.main_blocks > 0)
+    r.revenue_share = static_cast<double>(r.attacker_main_blocks) / r.main_blocks;
+  if (r.fair_share > 0) r.relative_gain = r.revenue_share / r.fair_share - 1.0;
+  if (r.total_generated > 0 && r.main_blocks > 0) {
+    const double gen_att = static_cast<double>(r.attacker_generated) /
+                           static_cast<double>(r.total_generated);
+    if (gen_att > 0) r.attacker_acceptance = r.revenue_share / gen_att;
+    if (gen_att < 1.0)
+      r.honest_acceptance = (1.0 - r.revenue_share) / (1.0 - gen_att);
+  }
+  return r;
 }
 
 std::vector<double> propagation_delays(const Experiment& exp) {

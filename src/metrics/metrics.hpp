@@ -61,6 +61,26 @@ double time_to_win(const sim::Experiment& exp, double percentile_value = 90);
 /// Committed payload transactions per second on the eventual main chain.
 double transaction_frequency(const sim::Experiment& exp);
 
+/// Adversary accounting (§2's 25%-bound experiments): counted over
+/// weight-carrying blocks only (Bitcoin/GHOST blocks, NG key blocks — the
+/// units mining revenue is paid in).
+struct AttackerReport {
+  double revenue_share = 0;   ///< attacker's fraction of main-chain PoW blocks
+  double fair_share = 0;      ///< attacker's share of total mining power
+  double relative_gain = 0;   ///< revenue_share / fair_share - 1 (0 == fair)
+  /// Fairness split: each side's main-chain block share over its generated
+  /// block share (1.0 == proportional representation).
+  double attacker_acceptance = 0;
+  double honest_acceptance = 0;
+  std::uint32_t attacker_main_blocks = 0;
+  std::uint32_t main_blocks = 0;
+  std::uint64_t attacker_generated = 0;
+  std::uint64_t total_generated = 0;
+};
+
+/// Revenue/fairness accounting for one designated attacker node.
+AttackerReport attacker_report(const sim::Experiment& exp, NodeId attacker);
+
 /// One-way block propagation delays pooled over (block, node) pairs:
 /// receipt_time - generation_time. Drives Figure 7.
 std::vector<double> propagation_delays(const sim::Experiment& exp);

@@ -31,6 +31,7 @@ Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel
   latency_.resize(offset_[n], 0);
   busy_until_.resize(offset_[n], 0);
   fifo_.resize(offset_[n]);
+  blocked_.resize(offset_[n], 0);
 
   // Draw a symmetric latency per undirected edge, once, like the paper's
   // fixed per-pair assignment. Iteration order matches the pre-CSR
@@ -79,7 +80,7 @@ Seconds Network::edge_latency(NodeId a, NodeId b) const {
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   const std::uint32_t e = find_edge(from, to);
   if (e == kNoEdge) throw std::invalid_argument("Network::send: nodes are not neighbours");
-  if (offline_[from] || offline_[to]) return;
+  if (offline_[from] || offline_[to] || blocked_[e] != 0) return;
 
   const std::size_t wire_bytes = msg->wire_size() + params_.per_message_overhead_bytes;
   bytes_sent_ += wire_bytes;
@@ -90,12 +91,17 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   const Seconds start = std::max(queue_.now(), busy_until_[e]);
   const Seconds done_sending = start + transfer;
   busy_until_[e] = done_sending;
-  const Seconds arrival = done_sending + latency_[e];
+  Seconds arrival = done_sending + latency_[e];
 
   // Event train: only the idle->busy transition touches the event queue; a
   // busy link just grows its FIFO (delivery re-arms on pop).
   LinkFifo& f = fifo_[e];
   const bool was_empty = f.empty();
+  // A link delivers in order. With constant latency arrivals are naturally
+  // monotone; a mid-flight latency *decrease* (a healing fault window) would
+  // let a later message compute an earlier arrival, so clamp to the queue
+  // tail — head-of-line blocking, exactly what store-and-forward does.
+  if (!was_empty) arrival = std::max(arrival, f.q.back().arrival);
   f.q.push_back(InFlight{arrival, std::move(msg)});
   ++in_flight_;
   if (was_empty) {
@@ -134,5 +140,61 @@ void Network::deliver_head(std::uint32_t e) {
 }
 
 void Network::set_offline(NodeId node, bool offline) { offline_[node] = offline; }
+
+void Network::set_edge_blocked(NodeId a, NodeId b, bool blocked) {
+  const std::uint32_t e = find_edge(a, b);
+  if (e == kNoEdge) throw std::invalid_argument("Network: no such edge");
+  if (blocked) {
+    ++blocked_[e];
+  } else {
+    if (blocked_[e] == 0) throw std::logic_error("Network: unblocking an unblocked edge");
+    --blocked_[e];
+  }
+}
+
+bool Network::edge_blocked(NodeId a, NodeId b) const {
+  const std::uint32_t e = find_edge(a, b);
+  if (e == kNoEdge) throw std::invalid_argument("Network: no such edge");
+  return blocked_[e] != 0;
+}
+
+void Network::set_partition(const std::vector<NodeId>& group, bool active) {
+  std::vector<bool> in_group(topology_.num_nodes(), false);
+  for (NodeId v : group) {
+    if (v >= topology_.num_nodes())
+      throw std::invalid_argument("Network::set_partition: unknown node");
+    in_group[v] = true;
+  }
+  for (NodeId a = 0; a < topology_.num_nodes(); ++a) {
+    if (!in_group[a]) continue;
+    for (NodeId b : topology_.peers(a)) {
+      if (in_group[b]) continue;
+      set_edge_blocked(a, b, active);
+      set_edge_blocked(b, a, active);
+    }
+  }
+}
+
+void Network::set_eclipsed(NodeId node, bool eclipsed) {
+  if (node >= topology_.num_nodes())
+    throw std::invalid_argument("Network::set_eclipsed: unknown node");
+  for (NodeId peer : topology_.peers(node)) {
+    set_edge_blocked(node, peer, eclipsed);
+    set_edge_blocked(peer, node, eclipsed);
+  }
+}
+
+void Network::add_edge_latency(NodeId a, NodeId b, Seconds delta) {
+  const std::uint32_t e1 = find_edge(a, b);
+  const std::uint32_t e2 = find_edge(b, a);
+  if (e1 == kNoEdge || e2 == kNoEdge)
+    throw std::invalid_argument("Network: no such edge");
+  // Validate before writing: a rejected mutation must not leave one (or
+  // both) directions changed.
+  if (latency_[e1] + delta < 0 || latency_[e2] + delta < 0)
+    throw std::invalid_argument("Network: edge latency would go negative");
+  latency_[e1] += delta;
+  latency_[e2] += delta;
+}
 
 }  // namespace bng::net

@@ -113,6 +113,29 @@ class Network {
   void set_offline(NodeId node, bool offline);
   [[nodiscard]] bool is_offline(NodeId node) const { return offline_[node]; }
 
+  // --- Fault mechanism (net/fault_plan.hpp schedules the policy) ------------
+  //
+  // Faults are plain mutations of the per-edge state the send path already
+  // reads: a blocked edge folds into the existing offline drop-check (one
+  // fused predicate, no extra branch chain) and extra delay is added into
+  // the edge's latency slot. With no faults configured the layer costs zero
+  // events, zero allocations, and leaves the send path byte-identical.
+  //
+  // Block state is a per-edge depth counter so overlapping faults compose
+  // (a partition plus an eclipse both covering an edge heal independently).
+  // Blocking gates send() only: messages already on the link still arrive.
+
+  /// Block/unblock the directed edge a -> b. Throws if the edge is absent.
+  void set_edge_blocked(NodeId a, NodeId b, bool blocked);
+  /// Block/unblock both directions between `group` and its complement.
+  void set_partition(const std::vector<NodeId>& group, bool active);
+  /// Block/unblock every edge incident to `node`, both directions.
+  void set_eclipsed(NodeId node, bool eclipsed);
+  /// Add `delta` (may be negative, to heal) to both directions' latency.
+  void add_edge_latency(NodeId a, NodeId b, Seconds delta);
+
+  [[nodiscard]] bool edge_blocked(NodeId a, NodeId b) const;
+
  private:
   static constexpr std::uint32_t kNoEdge = UINT32_MAX;
 
@@ -160,6 +183,7 @@ class Network {
   std::vector<Seconds> latency_;           // per directed-edge slot, symmetric
   std::vector<Seconds> busy_until_;        // per directed-edge slot (directed)
   std::vector<LinkFifo> fifo_;             // per directed-edge slot
+  std::vector<std::uint8_t> blocked_;      // per directed-edge fault depth
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;

@@ -1,5 +1,7 @@
 #include "ng/ng_node.hpp"
 
+#include <algorithm>
+
 #include "chain/validation.hpp"
 
 namespace bng::ng {
@@ -85,10 +87,11 @@ void NgNode::microblock_tick() {
   const BlockId block_id = tree_.intern(block->id());
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
   accept_block(block, block_id, id_, /*work=*/0.0);
+  record_poison_sites(*block, block_id);  // own placements count too
   schedule_microblock_tick();
 }
 
-chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
+chain::BlockPtr NgNode::build_microblock(std::uint32_t tip, std::uint64_t salt) {
   const auto& tip_entry = tree_.entry(tip);
   std::vector<chain::TxPtr> txs;
 
@@ -98,12 +101,27 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
   // yet (e.g. the fork is not visible from the current chain) is retried on
   // the next microblock.
   std::deque<FraudEvidence> retry;
+  std::vector<Hash256> placed_now;  // leaders poisoned in THIS block
   while (!pending_frauds_.empty()) {
     FraudEvidence evidence = std::move(pending_frauds_.front());
     pending_frauds_.pop_front();
-    const BlockId accused_id = tree_.intern(evidence.accused_key_block);
-    if (poisoned_epochs_.contains(accused_id)) continue;
-    if (accused_id == my_latest_key_block_) continue;  // self
+    const auto accused_idx = tree_.find(evidence.accused_key_block);
+    if (!accused_idx) {
+      retry.push_back(std::move(evidence));  // accused epoch not seen yet
+      continue;
+    }
+    const auto& accused_key = tree_.entry(*accused_idx).block->header().leader_key;
+    if (!accused_key) continue;  // malformed evidence: not a leader epoch
+    const Hash256 accused_leader = chain::address_of(*accused_key);
+    if (accused_leader == reward_address_) continue;  // self
+    if (chain_has_poison_for(accused_leader, tip) ||
+        std::find(placed_now.begin(), placed_now.end(), accused_leader) !=
+            placed_now.end()) {
+      // One poison per cheater per chain: keep the evidence — if the chain
+      // carrying that poison loses, this node can still re-place it.
+      retry.push_back(std::move(evidence));
+      continue;
+    }
     const Amount revocable = compute_revocable(tree_, tip, evidence.accused_key_block);
     const chain::BlockHeader* pruned = select_pruned_header(tree_, tip, evidence);
     bool placed = false;
@@ -114,7 +132,7 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
             cfg_.params.poison_reward_fraction * static_cast<double>(revocable));
         txs.push_back(
             make_poison_tx(evidence.accused_key_block, *pruned, reward_address_, bounty));
-        poisoned_epochs_.insert(accused_id);
+        placed_now.push_back(accused_leader);
         ++poisons_placed_;
         placed = true;
       }
@@ -134,6 +152,7 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip) {
   header.prev = tip_entry.block->id();
   header.timestamp = now();
   header.merkle_root = chain::compute_merkle_root(txs);
+  header.nonce = salt;
   sign_header(header);
   return std::make_shared<chain::Block>(std::move(header), std::move(txs), id_, 0.0);
 }
@@ -142,10 +161,10 @@ void NgNode::sign_header(chain::BlockHeader& header) const {
   header.signature = crypto::sign(leader_sk_, header.signing_hash());
 }
 
-chain::BlockPtr NgNode::forge_microblock(const Hash256& parent_id) {
+chain::BlockPtr NgNode::forge_microblock(const Hash256& parent_id, std::uint64_t salt) {
   auto parent_idx = tree_.find(parent_id);
   if (!parent_idx) throw std::invalid_argument("forge_microblock: unknown parent");
-  chain::BlockPtr block = build_microblock(*parent_idx);
+  chain::BlockPtr block = build_microblock(*parent_idx, salt);
   ++microblocks_generated_;
   const BlockId block_id = tree_.intern(block->id());
   if (observer_ != nullptr) observer_->on_block_generated(block, id_, now());
@@ -160,12 +179,48 @@ chain::BlockPtr NgNode::forge_microblock(const Hash256& parent_id) {
   return block;
 }
 
-void NgNode::note_microblock(const chain::BlockPtr& block, std::uint32_t parent_idx) {
+void NgNode::note_microblock(const chain::BlockPtr& block, BlockId id,
+                             std::uint32_t parent_idx, NodeId from) {
   const Hash256 epoch_id = tree_.entry(tree_.entry(parent_idx).epoch_key_block).block->id();
   if (auto fraud = detector_.observe(epoch_id, block->header())) {
     if (observer_ != nullptr) observer_->on_fraud_detected(id_, epoch_id, now());
     pending_frauds_.push_back(std::move(*fraud));
+    // Gossip the proof: this conflicting sibling sits off the active chain,
+    // so the normal relay policy would strand it at the cheater's direct
+    // neighbours — but the evidence must reach a *future leader* to be
+    // placed (§4.5). Each receiver detects the same fraud and re-announces
+    // once (the detector reports one conflict per epoch), flooding the
+    // proof exactly one inv per node.
+    announce(id, from);
   }
+  // Record poisons other nodes placed: without this, every evidence-holding
+  // node would place its own poison against the same cheater and the chain
+  // would fail ledger replay. Any microblock we build extends a chain whose
+  // poisons we have all accepted (and thus recorded), so the
+  // at-most-one-per-cheater invariant holds on every chain path.
+  record_poison_sites(*block, id);
+}
+
+void NgNode::record_poison_sites(const chain::Block& block, BlockId id) {
+  for (const auto& tx : block.txs()) {
+    if (!tx->poison) continue;
+    const auto idx = tree_.find(tx->poison->accused_key_block);
+    if (!idx) continue;
+    const auto& key = tree_.entry(*idx).block->header().leader_key;
+    if (!key) continue;
+    auto& sites = poison_sites_[chain::address_of(*key)];
+    if (std::find(sites.begin(), sites.end(), id) == sites.end()) sites.push_back(id);
+  }
+}
+
+bool NgNode::chain_has_poison_for(const Hash256& leader_addr, std::uint32_t tip) const {
+  const auto it = poison_sites_.find(leader_addr);
+  if (it == poison_sites_.end()) return false;
+  for (const BlockId site : it->second) {
+    const std::uint32_t idx = tree_.index_of_id(site);
+    if (idx != chain::BlockTree::kNoIndex && tree_.is_ancestor(idx, tip)) return true;
+  }
+  return false;
 }
 
 void NgNode::handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) {
@@ -189,7 +244,7 @@ void NgNode::handle_block(const chain::BlockPtr& block, BlockId id, NodeId from)
                                        parent.block->header().timestamp, now(), cfg_.params,
                                        cfg_.verify_signatures);
       if (!r.ok) return;
-      note_microblock(block, parent_idx);
+      note_microblock(block, id, parent_idx, from);
       accept_block(block, id, from, /*work=*/0.0);
       break;
     }

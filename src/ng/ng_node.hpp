@@ -7,10 +7,13 @@
 #pragma once
 
 #include <deque>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/ecdsa.hpp"
 #include "ng/poison.hpp"
 #include "protocol/base_node.hpp"
+#include "protocol/selfish_node.hpp"
 
 namespace bng::ng {
 
@@ -35,33 +38,58 @@ class NgNode : public protocol::BaseNode {
 
   /// Testing/attack hook: create and broadcast a signed microblock extending
   /// an arbitrary parent — used to model an equivocating (fraudulent) leader.
-  chain::BlockPtr forge_microblock(const Hash256& parent_id);
+  /// `salt` lands in the header nonce so two forgeries of the same parent at
+  /// the same instant are still distinct blocks.
+  chain::BlockPtr forge_microblock(const Hash256& parent_id, std::uint64_t salt = 0);
 
  protected:
   void handle_block(const chain::BlockPtr& block, BlockId id, NodeId from) override;
 
- private:
+  // Microblock production, overridable by adversarial leaders
+  // (ng::MaliciousLeader equivocates / withholds from inside the tick).
   void schedule_microblock_tick();
-  void microblock_tick();
-  [[nodiscard]] chain::BlockPtr build_key_block(std::uint32_t tip, double work);
-  [[nodiscard]] chain::BlockPtr build_microblock(std::uint32_t tip);
+  virtual void microblock_tick();
+  [[nodiscard]] chain::BlockPtr build_microblock(std::uint32_t tip, std::uint64_t salt = 0);
   void sign_header(chain::BlockHeader& header) const;
-  void note_microblock(const chain::BlockPtr& block, std::uint32_t parent_idx);
 
-  crypto::PrivateKey leader_sk_;
-  crypto::PublicKey leader_pk_;
-  Hash256 reward_address_;
   /// Interned id of the newest key block this node mined; kNoBlockId before
   /// the first win. Leadership checks are then a u32 compare per tick.
   BlockId my_latest_key_block_ = kNoBlockId;
   bool tick_scheduled_ = false;
+
+ private:
+  [[nodiscard]] chain::BlockPtr build_key_block(std::uint32_t tip, double work);
+  void note_microblock(const chain::BlockPtr& block, BlockId id, std::uint32_t parent_idx,
+                       NodeId from);
+  void record_poison_sites(const chain::Block& block, BlockId id);
+  [[nodiscard]] bool chain_has_poison_for(const Hash256& leader_addr,
+                                          std::uint32_t tip) const;
+
+  crypto::PrivateKey leader_sk_;
+  crypto::PublicKey leader_pk_;
+  Hash256 reward_address_;
   EquivocationDetector detector_;
   std::deque<FraudEvidence> pending_frauds_;
-  FlatIdSet poisoned_epochs_;  ///< accused key blocks already poisoned (by id)
+  /// Where poison transactions against each leader address have been seen:
+  /// the microblocks (by interned id) carrying them, own placements
+  /// included. The §4.5 rule — "Only one poison transaction can be placed
+  /// per cheater" — is per cheater *per chain*: the Ledger's revocation
+  /// sweeps every coinbase output the address owns, so a second poison for
+  /// the same leader on one chain path finds nothing and invalidates the
+  /// chain — but a poison pruned away with its branch must not suppress
+  /// re-placement on the winning chain. Placement therefore checks whether
+  /// any recorded site is an ancestor of the tip being extended, and
+  /// blocked evidence stays in the retry queue instead of being dropped.
+  std::unordered_map<Hash256, std::vector<BlockId>, Hash256Hasher> poison_sites_;
 
   std::uint64_t key_blocks_mined_ = 0;
   std::uint64_t microblocks_generated_ = 0;
   std::uint64_t poisons_placed_ = 0;
 };
+
+/// SM1 on the key-block plane: withholds key blocks; the microblocks it
+/// leads on the private chain join the private set and publish with their
+/// epoch (they carry no weight, so the lead accounting is untouched — §5.1).
+using SelfishNgMiner = protocol::SelfishNode<NgNode>;
 
 }  // namespace bng::ng

@@ -20,6 +20,12 @@ std::optional<FraudEvidence> EquivocationDetector::observe(const Hash256& epoch_
   return evidence;
 }
 
+const chain::BlockHeader& FraudEvidence::pruned_header(const chain::BlockTree& tree,
+                                                       std::uint32_t tip) const {
+  const chain::BlockHeader* losing = select_pruned_header(tree, tip, *this);
+  return losing != nullptr ? *losing : header_b;
+}
+
 const chain::BlockHeader* select_pruned_header(const chain::BlockTree& tree,
                                                std::uint32_t tip,
                                                const FraudEvidence& evidence) {

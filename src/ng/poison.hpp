@@ -26,8 +26,14 @@ struct FraudEvidence {
   chain::BlockHeader header_a;  ///< first observed conflicting header
   chain::BlockHeader header_b;  ///< second observed conflicting header
 
-  /// Convenience: evidence with only one known header (tests, replay).
-  [[nodiscard]] const chain::BlockHeader& pruned_header() const { return header_b; }
+  /// The header of the branch that actually lost, resolved against the
+  /// block tree at poison-construction time (§4.5: "whichever branch
+  /// eventually loses"). Falls back to header_b when neither header is on
+  /// the chain ending at `tip` (either would prove the fraud) — the old
+  /// behaviour of unconditionally returning header_b mis-poisoned whenever
+  /// the *second* observed sibling was the one that won.
+  [[nodiscard]] const chain::BlockHeader& pruned_header(const chain::BlockTree& tree,
+                                                        std::uint32_t tip) const;
 };
 
 /// Watches microblock headers and reports leader equivocation: two distinct

@@ -26,6 +26,7 @@ BaseNode::BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeCo
       observer_(observer) {
   if (cfg_.workload_mode == WorkloadMode::kSynthetic && cfg_.workload == nullptr)
     throw std::invalid_argument("BaseNode: synthetic mode needs a workload");
+  tree_.set_tie_switch_prob(cfg_.params.tie_switch_prob);
 }
 
 void BaseNode::on_message(NodeId from, const net::MessagePtr& msg) {

@@ -1,0 +1,116 @@
+#include "protocol/withholding.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bng::protocol {
+
+WithholdingStrategy::WithholdingStrategy(const chain::BlockTree& tree,
+                                         std::function<void(BlockId)> publish)
+    : tree_(tree), publish_(std::move(publish)) {}
+
+bool WithholdingStrategy::is_private(BlockId id) const {
+  return std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
+         private_blocks_.end();
+}
+
+void WithholdingStrategy::begin_own_win() { processing_own_win_ = true; }
+
+void WithholdingStrategy::end_own_win() {
+  processing_own_win_ = false;
+  private_blocks_.push_back(tree_.best_entry().id);
+
+  // SM1 state 0' -> win: we were racing head-to-head and just mined on our
+  // own branch; publish and take both blocks' rewards.
+  if (racing_ && private_work() > race_work_) {
+    publish_all();
+    racing_ = false;
+  }
+}
+
+bool WithholdingStrategy::extends_private_tip(std::uint32_t index) const {
+  if (private_blocks_.empty()) return false;
+  const std::uint32_t last_private = tree_.index_of_id(private_blocks_.back());
+  return last_private != chain::BlockTree::kNoIndex &&
+         tree_.is_ancestor(last_private, index);
+}
+
+bool WithholdingStrategy::suppress_relay(std::uint32_t index, bool own) const {
+  if (processing_own_win_) return true;  // own block being mined right now
+  if (is_private(tree_.entry(index).id)) return true;
+  // An own block extending the private tip is private-to-be: on_accept will
+  // register it, but the relay decision happens first (see the header).
+  return own && extends_private_tip(index);
+}
+
+void WithholdingStrategy::on_accept(std::uint32_t index, bool own) {
+  if (processing_own_win_) return;  // our own freshly-withheld block
+  const BlockId id = tree_.entry(index).id;
+  if (is_private(id)) return;
+
+  if (own && extends_private_tip(index)) {
+    // A zero-weight block we built on our own private chain (an NG
+    // microblock during a withheld epoch): it stays private, publishing
+    // together with its key block. PoW protocols never reach this branch —
+    // own wins only arrive inside the begin/end_own_win bracket.
+    private_blocks_.push_back(id);
+    return;
+  }
+
+  // A public block arrived (honest, or one we published ourselves).
+  public_best_work_ = std::max(public_best_work_, tree_.entry(index).chain_work);
+  if (racing_ && public_best_work_ > race_work_) racing_ = false;  // race resolved
+  if (private_blocks_.empty()) return;
+
+  const double lead = private_work() - public_best_work_;
+  if (lead < 0) {
+    // The public chain overtook us: our withheld blocks are worthless.
+    abandon_private_chain();
+  } else if (lead == 0) {
+    // They caught up: reveal everything; the network splits (gamma under the
+    // honest nodes' tie-break rule) and the race is on.
+    race_work_ = private_work();
+    publish_all();
+    racing_ = true;
+  } else if (lead == 1) {
+    // We lead by exactly one after their find: reveal all and win outright.
+    publish_all();
+  } else {
+    // Comfortable lead: reveal just enough to match the public height and
+    // keep the honest network wasting work on a losing branch.
+    publish_until(public_best_work_);
+  }
+}
+
+void WithholdingStrategy::publish_until(double target_work) {
+  while (!private_blocks_.empty()) {
+    const BlockId id = private_blocks_.front();
+    const std::uint32_t idx = tree_.index_of_id(id);
+    if (idx == chain::BlockTree::kNoIndex) {
+      private_blocks_.pop_front();
+      continue;
+    }
+    if (tree_.entry(idx).chain_work > target_work) break;
+    private_blocks_.pop_front();
+    ++blocks_published_;
+    publish_(id);
+  }
+}
+
+void WithholdingStrategy::publish_all() {
+  while (!private_blocks_.empty()) {
+    const BlockId id = private_blocks_.front();
+    private_blocks_.pop_front();
+    if (tree_.contains_id(id)) {
+      ++blocks_published_;
+      publish_(id);
+    }
+  }
+}
+
+void WithholdingStrategy::abandon_private_chain() {
+  branches_abandoned_ += private_blocks_.empty() ? 0 : 1;
+  private_blocks_.clear();
+}
+
+}  // namespace bng::protocol

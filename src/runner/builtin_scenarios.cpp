@@ -9,6 +9,7 @@
 #include "chain/block_tree.hpp"
 #include "common/stats.hpp"
 #include "metrics/metrics.hpp"
+#include "ng/malicious_leader.hpp"
 #include "runner/scenario.hpp"
 #include "sim/miner_distribution.hpp"
 
@@ -270,6 +271,30 @@ Scenario make_ablation_power_drop(const RunKnobs& knobs) {
   return s;
 }
 
+// --- adversary helpers -------------------------------------------------------
+
+Axis alpha_axis(std::initializer_list<double> alphas) {
+  Axis axis{"alpha", {}};
+  for (double alpha : alphas) {
+    axis.values.push_back(AxisValue{fmt("a=%.2f", alpha), alpha,
+                                    [alpha](sim::ExperimentConfig& cfg) {
+                                      cfg.adversary.power_share = alpha;
+                                    }});
+  }
+  return axis;
+}
+
+Axis gamma_axis(std::initializer_list<double> gammas) {
+  Axis axis{"gamma", {}};
+  for (double gamma : gammas) {
+    axis.values.push_back(AxisValue{fmt("g=%.1f", gamma), gamma,
+                                    [gamma](sim::ExperimentConfig& cfg) {
+                                      cfg.adversary.gamma = gamma;
+                                    }});
+  }
+  return axis;
+}
+
 // --- ablation: selfish mining revenue vs attacker power ----------------------
 Scenario make_ablation_selfish(const RunKnobs& knobs) {
   Scenario s;
@@ -283,41 +308,218 @@ Scenario make_ablation_selfish(const RunKnobs& knobs) {
   s.base.params.max_block_size = 4000;
   s.base.target_blocks = std::max(knobs.blocks * 5, 300u);
   s.base.drain_time = 60;
-  s.base.node_factory = [](NodeId id, net::Network& net, chain::BlockPtr genesis,
-                           const protocol::NodeConfig& ncfg, Rng rng,
-                           protocol::IBlockObserver* obs)
-      -> std::unique_ptr<protocol::BaseNode> {
-    if (id != 0) return nullptr;
-    return std::make_unique<bitcoin::SelfishMiner>(id, net, std::move(genesis), ncfg, rng,
-                                                   obs);
-  };
-  Axis axis{"alpha", {}};
-  for (double alpha : {0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}) {
-    axis.values.push_back(AxisValue{
-        fmt("a=%.2f", alpha), alpha, [alpha](sim::ExperimentConfig& cfg) {
-          std::vector<double> powers(cfg.num_nodes,
-                                     (1.0 - alpha) / (cfg.num_nodes - 1));
-          powers[0] = alpha;
-          cfg.custom_powers = std::move(powers);
-        }});
-  }
-  s.axes.push_back(std::move(axis));
+  s.base.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+  s.axes.push_back(alpha_axis({0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40}));
   s.extra = [](const sim::Experiment& exp, NamedValues& v) {
-    const auto& g = exp.global_tree();
-    std::uint32_t attacker_main = 0, total_main = 0;
-    for (std::uint32_t idx : g.path_from_genesis(g.best_tip())) {
-      if (idx == chain::BlockTree::kGenesisIndex) continue;
-      ++total_main;
-      if (g.entry(idx).block->miner() == 0) ++attacker_main;
-    }
-    const double revenue =
-        total_main > 0 ? static_cast<double>(attacker_main) / total_main : 0;
-    v.emplace_back("revenue_share", revenue);
-    v.emplace_back("advantage", revenue - exp.powers()[0]);
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("revenue_share", a.revenue_share);
+    v.emplace_back("advantage", a.revenue_share - exp.powers()[0]);
     v.emplace_back("branches_abandoned",
                    static_cast<double>(static_cast<const bitcoin::SelfishMiner&>(
                                            *exp.nodes()[0])
                                            .branches_abandoned()));
+  };
+  return s;
+}
+
+// --- selfish_threshold: alpha x gamma x protocol grid ------------------------
+Scenario make_selfish_threshold(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "selfish_threshold";
+  s.description =
+      "SM1 revenue share over alpha x gamma x protocol; Bitcoin crossover ~1/4 at "
+      "gamma=0.5 (§2)";
+  s.seed_base = 8700;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 60u);
+  s.base.params.max_block_size = 4000;
+  s.base.params.max_microblock_size = 4000;
+  s.base.target_blocks = std::max(knobs.blocks * 5, 300u);
+  s.base.drain_time = 60;
+  s.base.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+  Axis proto = protocol_axis(
+      {chain::Protocol::kBitcoin, chain::Protocol::kGhost, chain::Protocol::kBitcoinNG});
+  for (AxisValue& v : proto.values) {
+    ConfigDelta inner = std::move(v.apply);
+    v.apply = [inner](sim::ExperimentConfig& cfg) {
+      inner(cfg);
+      if (cfg.params.protocol == chain::Protocol::kBitcoinNG) {
+        // Counted blocks are microblocks; at a 2:1 micro:key cadence the
+        // run covers ~target/2 epochs of the key-block plane under attack.
+        cfg.params.block_interval = 20.0;
+        cfg.params.microblock_interval = 10.0;
+      } else {
+        cfg.params.block_interval = 10.0;
+      }
+    };
+  }
+  s.axes.push_back(std::move(proto));
+  s.axes.push_back(gamma_axis({0.0, 0.5, 1.0}));
+  s.axes.push_back(alpha_axis({0.15, 0.20, 0.25, 0.30, 0.35}));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("revenue_share", a.revenue_share);
+    v.emplace_back("fair_share", a.fair_share);
+    v.emplace_back("relative_gain", a.relative_gain);
+    v.emplace_back("honest_acceptance", a.honest_acceptance);
+  };
+  return s;
+}
+
+// --- partition_heal: timed split of the overlay ------------------------------
+Scenario make_partition_heal(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "partition_heal";
+  s.description =
+      "split half the overlay at t=120s, heal after d; fork pressure and recovery";
+  s.seed_base = 8800;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 100u);
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.block_interval = 10;
+  s.base.params.max_block_size = 8000;
+  s.base.target_blocks = std::max(knobs.blocks, 60u);
+  s.base.drain_time = 120;
+  Axis axis{"partition_s", {}};
+  for (double dur : {0.0, 60.0, 180.0, 360.0}) {
+    axis.values.push_back(AxisValue{
+        fmt("cut=%.0fs", dur), dur, [dur](sim::ExperimentConfig& cfg) {
+          cfg.faults = {};
+          if (dur <= 0) return;
+          net::FaultPlan::Partition cut;
+          cut.at = 120.0;
+          cut.heal_at = 120.0 + dur;
+          for (NodeId v = 0; v < cfg.num_nodes / 2; ++v) cut.group.push_back(v);
+          cfg.faults.partitions.push_back(std::move(cut));
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  return s;
+}
+
+// --- eclipse: isolate the largest miner --------------------------------------
+Scenario make_eclipse(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "eclipse";
+  s.description =
+      "eclipse the largest miner at t=60s for d; its revenue share collapses";
+  s.seed_base = 8900;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 100u);
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.block_interval = 10;
+  s.base.params.max_block_size = 8000;
+  s.base.target_blocks = std::max(knobs.blocks, 60u);
+  s.base.drain_time = 60;
+  Axis axis{"eclipse_s", {}};
+  for (double dur : {0.0, 120.0, 300.0}) {
+    axis.values.push_back(AxisValue{
+        fmt("dark=%.0fs", dur), dur, [dur](sim::ExperimentConfig& cfg) {
+          cfg.faults = {};
+          if (dur <= 0) return;
+          cfg.faults.eclipses.push_back(net::FaultPlan::Eclipse{60.0, 60.0 + dur, 0});
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    // Node 0 is the largest miner of the exponential population.
+    const auto a = metrics::attacker_report(exp, 0);
+    v.emplace_back("victim_revenue_share", a.revenue_share);
+    v.emplace_back("victim_fair_share", a.fair_share);
+    v.emplace_back("victim_relative_gain", a.relative_gain);
+  };
+  return s;
+}
+
+// --- ng_poison: equivocating leader -> fraud proofs -> revocation ------------
+Scenario make_ng_poison(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "ng_poison";
+  s.description =
+      "NG leader equivocates; honest leaders place poison txs revoking its revenue "
+      "(§4.5)";
+  s.seed_base = 9100;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 40u);
+  s.base.min_degree = 8;  // dense gossip: equivocation evidence spreads
+  s.base.params = chain::Params::bitcoin_ng();
+  s.base.params.block_interval = 15;
+  s.base.params.microblock_interval = 3;
+  s.base.params.max_microblock_size = 4000;
+  s.base.target_blocks = std::max(knobs.blocks * 2, 120u);
+  s.base.drain_time = 60;
+  s.base.adversary.kind = sim::AdversarySpec::Kind::kEquivocate;
+  s.base.adversary.power_share = 0.30;
+  s.base.adversary.equivocate_every = 2;
+  Axis axis{"equivocate_every", {}};
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    axis.values.push_back(AxisValue{fmt("k=%.0f", static_cast<double>(k)),
+                                    static_cast<double>(k),
+                                    [k](sim::ExperimentConfig& cfg) {
+                                      cfg.adversary.equivocate_every = k;
+                                    }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto& leader = static_cast<const ng::MaliciousLeader&>(
+        *exp.nodes()[exp.config().adversary.node]);
+    std::uint64_t main_poisons = 0;
+    const auto& g = exp.global_tree();
+    for (std::uint32_t idx : g.path_from_genesis(g.best_tip()))
+      for (const auto& tx : g.entry(idx).block->txs())
+        if (tx->poison) ++main_poisons;
+    v.emplace_back("equivocations", static_cast<double>(leader.equivocations()));
+    v.emplace_back("frauds_detected", static_cast<double>(exp.trace().frauds().size()));
+    v.emplace_back("main_chain_poisons", static_cast<double>(main_poisons));
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("leader_key_share", a.revenue_share);
+  };
+  return s;
+}
+
+// --- attack_smoke: tiny adversary+fault sweep for CI -------------------------
+Scenario make_attack_smoke(const RunKnobs& knobs) {
+  (void)knobs;  // deliberately fixed-size: CI wall time must not scale up
+  Scenario s;
+  s.name = "attack_smoke";
+  s.description =
+      "tiny selfish-mining + partition and NG-equivocation sweep for CI determinism";
+  s.seed_base = 9200;
+  s.base.num_nodes = 24;
+  s.base.tx_size = kTxSize;
+  s.base.drain_time = 30;
+  s.base.params.max_block_size = 5000;
+  s.base.params.max_microblock_size = 5000;
+  Axis axis{"attack", {}};
+  axis.values.push_back(AxisValue{"selfish_partition", 0, [](sim::ExperimentConfig& cfg) {
+                                    cfg.params.protocol = chain::Protocol::kBitcoin;
+                                    cfg.params.block_interval = 10.0;
+                                    cfg.target_blocks = 12;
+                                    cfg.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+                                    cfg.adversary.power_share = 0.30;
+                                    net::FaultPlan::Partition cut;
+                                    cut.at = 30.0;
+                                    cut.heal_at = 60.0;
+                                    for (NodeId v = 0; v < 12; ++v) cut.group.push_back(v);
+                                    cfg.faults.partitions.push_back(std::move(cut));
+                                  }});
+  axis.values.push_back(AxisValue{"ng_equivocate", 1, [](sim::ExperimentConfig& cfg) {
+                                    cfg.params = chain::Params::bitcoin_ng();
+                                    cfg.params.block_interval = 30.0;
+                                    cfg.params.microblock_interval = 3.0;
+                                    cfg.params.max_block_size = 5000;
+                                    cfg.params.max_microblock_size = 5000;
+                                    cfg.target_blocks = 30;
+                                    cfg.adversary.kind =
+                                        sim::AdversarySpec::Kind::kEquivocate;
+                                    cfg.adversary.power_share = 0.35;
+                                    cfg.adversary.equivocate_every = 1;
+                                  }});
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("revenue_share", a.revenue_share);
+    v.emplace_back("frauds_detected", static_cast<double>(exp.trace().frauds().size()));
   };
   return s;
 }
@@ -365,6 +567,11 @@ void register_builtin_scenarios() {
       {"ablation_keyblock_freq", make_ablation_keyblock},
       {"ablation_power_drop", make_ablation_power_drop},
       {"ablation_selfish_mining", make_ablation_selfish},
+      {"selfish_threshold", make_selfish_threshold},
+      {"partition_heal", make_partition_heal},
+      {"eclipse", make_eclipse},
+      {"ng_poison", make_ng_poison},
+      {"attack_smoke", make_attack_smoke},
       {"smoke", make_smoke},
   };
   for (const Builtin& b : kBuiltins) {

@@ -184,6 +184,27 @@ void apply_config_override(sim::ExperimentConfig& cfg, std::string_view key,
       throw std::invalid_argument("unknown tie_break '" + std::string(value) +
                                   "' (random | first-seen)");
     }
+  } else if (key == "adversary") {
+    if (value == "none") {
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kNone;
+    } else if (value == "selfish") {
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+    } else if (value == "equivocate") {
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kEquivocate;
+    } else if (value == "withhold-micro") {
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kWithholdMicro;
+    } else {
+      throw std::invalid_argument("unknown adversary '" + std::string(value) +
+                                  "' (none | selfish | equivocate | withhold-micro)");
+    }
+  } else if (key == "adversary_node") {
+    cfg.adversary.node = static_cast<NodeId>(parse_u64(key, value));
+  } else if (key == "adversary_share") {
+    cfg.adversary.power_share = parse_double(key, value);
+  } else if (key == "adversary_gamma") {
+    cfg.adversary.gamma = parse_double(key, value);
+  } else if (key == "equivocate_every") {
+    cfg.adversary.equivocate_every = static_cast<std::uint32_t>(parse_u64(key, value));
   } else {
     std::string known;
     for (const std::string& k : config_override_keys()) {
@@ -204,7 +225,9 @@ std::vector<std::string> config_override_keys() {
           "block_interval",  "microblock_interval",
           "min_microblock_interval", "max_block_size",
           "max_microblock_size",     "leader_fee_fraction",
-          "tie_break"};
+          "tie_break",       "adversary",
+          "adversary_node",  "adversary_share",
+          "adversary_gamma", "equivocate_every"};
 }
 
 Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs) {

@@ -4,7 +4,9 @@
 #include <stdexcept>
 
 #include "bitcoin/bitcoin_node.hpp"
+#include "bitcoin/selfish_miner.hpp"
 #include "ghost/ghost_node.hpp"
+#include "ng/malicious_leader.hpp"
 #include "ng/ng_node.hpp"
 #include "sim/miner_distribution.hpp"
 
@@ -93,8 +95,26 @@ void Experiment::build_nodes() {
   // Share the deployment-wide interner so global-tree and node-tree ids agree.
   trace_ = std::make_unique<TraceRecorder>(genesis_, network_->interner());
 
-  powers_ = cfg_.custom_powers ? *cfg_.custom_powers
-                               : exponential_powers(cfg_.num_nodes, cfg_.power_exponent);
+  const AdversarySpec& adv = cfg_.adversary;
+  if (adv.active() && adv.node >= cfg_.num_nodes)
+    throw std::invalid_argument("Experiment: adversary node out of range");
+  if ((adv.kind == AdversarySpec::Kind::kEquivocate ||
+       adv.kind == AdversarySpec::Kind::kWithholdMicro) &&
+      cfg_.params.protocol != chain::Protocol::kBitcoinNG)
+    throw std::invalid_argument("Experiment: leader attacks require Bitcoin-NG");
+
+  if (cfg_.custom_powers) {
+    powers_ = *cfg_.custom_powers;
+  } else if (adv.active() && adv.power_share > 0) {
+    // Flat honest population with the attacker holding alpha: the shape the
+    // selfish-mining analysis assumes, and what the old ablation built by
+    // hand through custom_powers.
+    powers_.assign(cfg_.num_nodes,
+                   (1.0 - adv.power_share) / std::max(cfg_.num_nodes - 1, 1u));
+    powers_[adv.node] = adv.power_share;
+  } else {
+    powers_ = exponential_powers(cfg_.num_nodes, cfg_.power_exponent);
+  }
   if (powers_.size() != cfg_.num_nodes)
     throw std::invalid_argument("Experiment: powers size != num_nodes");
 
@@ -109,10 +129,16 @@ void Experiment::build_nodes() {
     ncfg.verify_signatures = cfg_.verify_signatures;
     ncfg.workload_mode = cfg_.workload_mode;
     ncfg.workload = &workload();
+    // Gamma: honest nodes adopt the attacker's equal-work branch with this
+    // probability on a tie (the adversary's own tie-break is forced to
+    // first-seen by selfish_config, so only honest nodes see it).
+    if (adv.active()) ncfg.params.tie_switch_prob = adv.gamma;
     Rng node_rng = master_rng_.fork(1000 + i);
     std::unique_ptr<protocol::BaseNode> node;
     if (cfg_.node_factory)
       node = cfg_.node_factory(i, *network_, genesis_, ncfg, node_rng, trace_.get());
+    if (node == nullptr && adv.active() && i == adv.node)
+      node = make_adversary(i, ncfg, node_rng);
     if (node == nullptr) switch (cfg_.params.protocol) {
       case chain::Protocol::kBitcoin:
         node = std::make_unique<bitcoin::BitcoinNode>(i, *network_, genesis_, ncfg, node_rng,
@@ -145,6 +171,37 @@ void Experiment::build_nodes() {
   }
 }
 
+std::unique_ptr<protocol::BaseNode> Experiment::make_adversary(
+    NodeId id, const protocol::NodeConfig& ncfg, Rng& node_rng) {
+  using Kind = AdversarySpec::Kind;
+  switch (cfg_.adversary.kind) {
+    case Kind::kSelfish:
+      switch (cfg_.params.protocol) {
+        case chain::Protocol::kBitcoin:
+          return std::make_unique<bitcoin::SelfishMiner>(id, *network_, genesis_, ncfg,
+                                                         node_rng, trace_.get());
+        case chain::Protocol::kBitcoinNG:
+          return std::make_unique<ng::SelfishNgMiner>(id, *network_, genesis_, ncfg,
+                                                      node_rng, trace_.get());
+        case chain::Protocol::kGhost:
+          return std::make_unique<ghost::SelfishGhostMiner>(id, *network_, genesis_, ncfg,
+                                                            node_rng, trace_.get());
+      }
+      break;
+    case Kind::kEquivocate:
+      return std::make_unique<ng::MaliciousLeader>(
+          id, *network_, genesis_, ncfg, node_rng, trace_.get(),
+          ng::MaliciousLeader::Mode::kEquivocate, cfg_.adversary.equivocate_every);
+    case Kind::kWithholdMicro:
+      return std::make_unique<ng::MaliciousLeader>(
+          id, *network_, genesis_, ncfg, node_rng, trace_.get(),
+          ng::MaliciousLeader::Mode::kWithholdMicroblocks);
+    case Kind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
 void Experiment::build() {
   if (built_) return;
   built_ = true;
@@ -157,6 +214,7 @@ void Experiment::build() {
       network_->set_offline(event.node, !event.online);
     });
   }
+  net::schedule_faults(*network_, cfg_.faults);
 }
 
 std::uint64_t Experiment::counted_blocks() const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "chain/params.hpp"
+#include "net/fault_plan.hpp"
 #include "net/latency_model.hpp"
 #include "net/network.hpp"
 #include "protocol/base_node.hpp"
@@ -19,6 +20,47 @@
 #include "sim/trace.hpp"
 
 namespace bng::sim {
+
+/// Declarative adversary: which attack one node runs, how much mining power
+/// it holds, and how the honest network splits on races. Replaces the
+/// node_factory lambda for the common attack experiments (the lambda stays
+/// as the escape hatch and takes precedence when both are set).
+struct AdversarySpec {
+  enum class Kind {
+    kNone,
+    /// SM1 block withholding (protocol::WithholdingStrategy): Bitcoin and
+    /// GHOST blocks, or NG key blocks.
+    kSelfish,
+    /// NG only: the leader periodically signs conflicting microblocks
+    /// (ng::MaliciousLeader), driving detection -> poison -> revocation.
+    kEquivocate,
+    /// NG only: the leader builds microblocks but never announces them.
+    kWithholdMicro,
+  };
+
+  Kind kind = Kind::kNone;
+  /// Which node is the adversary.
+  NodeId node = 0;
+  /// Attacker's share of total mining power (alpha). When > 0 and no
+  /// custom_powers are given, the population becomes: attacker = alpha,
+  /// every honest node = (1 - alpha) / (n - 1). <= 0 leaves the configured
+  /// population untouched.
+  double power_share = 0.25;
+  /// Gamma: share of honest power mining the attacker's branch during a
+  /// race. Applied as the honest nodes' tie_switch_prob — the probability
+  /// of adopting the *later-arriving* equal-work branch. The attacker's
+  /// matching block is published in reaction to the honest find, so it is
+  /// the later arrival at almost every honest node and the knob tracks
+  /// gamma closely; nodes topologically adjacent to the attacker may see
+  /// the reverse order, so the 0 and 1 endpoints are exact only up to that
+  /// positioning effect (which the classic gamma also bakes in). 0.5 ==
+  /// the paper's unbiased random tie-breaking, order-independent.
+  double gamma = 0.5;
+  /// kEquivocate: forge a conflicting sibling every k-th led microblock.
+  std::uint32_t equivocate_every = 4;
+
+  [[nodiscard]] bool active() const { return kind != Kind::kNone; }
+};
 
 /// A fully generated synthetic workload (genesis block + tx pool) that can
 /// be shared read-only between experiments. All seeds of a sweep point use
@@ -66,10 +108,18 @@ struct ExperimentConfig {
   /// Enable difficulty retargeting (churn experiments).
   std::optional<chain::RetargetRule> retarget;
 
-  // --- Custom node types (attack experiments) -------------------------------
+  // --- Adversary & faults (attack experiments) ------------------------------
+  /// Declarative adversary for the common attack shapes (selfish mining,
+  /// NG equivocation / microblock withholding).
+  AdversarySpec adversary;
+  /// Scheduled network faults: timed partitions, link-delay windows,
+  /// eclipses. Empty costs nothing (see net/fault_plan.hpp).
+  net::FaultPlan faults;
+
+  // --- Custom node types (escape hatch) -------------------------------------
   /// If set, called for every node id; return nullptr to fall back to the
-  /// default node for `params.protocol`. Enables mixed populations, e.g. one
-  /// SelfishMiner among honest BitcoinNodes.
+  /// adversary spec / default node for `params.protocol`. Enables arbitrary
+  /// mixed populations beyond what AdversarySpec expresses.
   std::function<std::unique_ptr<protocol::BaseNode>(
       NodeId, net::Network&, chain::BlockPtr, const protocol::NodeConfig&, Rng,
       protocol::IBlockObserver*)>
@@ -136,6 +186,9 @@ class Experiment {
  private:
   void build_workload();
   void build_nodes();
+  std::unique_ptr<protocol::BaseNode> make_adversary(NodeId id,
+                                                     const protocol::NodeConfig& ncfg,
+                                                     Rng& node_rng);
 
   ExperimentConfig cfg_;
   net::EventQueue queue_;

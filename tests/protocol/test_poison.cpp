@@ -96,6 +96,47 @@ TEST(EquivocationDetectorTest, DistinctEpochsTrackedIndependently) {
   EXPECT_TRUE(det.observe(e2, signed_micro_header(sk, prev, 1.0, 4)).has_value());
 }
 
+TEST(FraudEvidenceTest, PrunedHeaderPicksTheBranchThatLost) {
+  // Two conflicting microblocks A (seen first) and B extend the genesis; the
+  // chain adopts B's branch. "Whichever branch eventually loses" (§4.5) is
+  // A's — the old convenience unconditionally returned header_b, which would
+  // mis-poison exactly when the second-observed sibling won.
+  chain::BlockTree tree(chain::make_genesis(1, kCoin), chain::TieBreak::kFirstSeen,
+                        chain::BlockTree::ForkChoice::kHeaviestChain, nullptr);
+  auto sk = leader_key(0);
+  const Hash256 genesis_id = tree.entry(0).block->id();
+  auto header_a = signed_micro_header(sk, genesis_id, 1.0, 1);
+  auto header_b = signed_micro_header(sk, genesis_id, 1.0, 2);
+  auto block_a = std::make_shared<chain::Block>(header_a, std::vector<chain::TxPtr>{}, 0);
+  auto block_b = std::make_shared<chain::Block>(header_b, std::vector<chain::TxPtr>{}, 0);
+  tree.insert(block_a, 1.0, 0.0);
+  const std::uint32_t b_idx = tree.insert(block_b, 1.0, 0.0);
+
+  // A weight-bearing block on B's branch decides the race for B.
+  chain::BlockHeader next;
+  next.type = chain::BlockType::kKey;
+  next.prev = header_b.id();
+  next.timestamp = 2.0;
+  next.leader_key = sk.public_key();
+  const std::uint32_t tip = tree.insert(
+      std::make_shared<chain::Block>(next, std::vector<chain::TxPtr>{}, 0, 1.0), 2.0, 1.0);
+  ASSERT_TRUE(tree.is_ancestor(b_idx, tip));
+
+  FraudEvidence evidence;
+  evidence.header_a = header_a;
+  evidence.header_b = header_b;
+  EXPECT_EQ(evidence.pruned_header(tree, tip).id(), header_a.id());
+
+  // Symmetric case: had A's branch won, B supplies the pruned header.
+  chain::BlockHeader next_a = next;
+  next_a.prev = header_a.id();
+  next_a.nonce = 7;
+  const std::uint32_t tip_a = tree.insert(
+      std::make_shared<chain::Block>(next_a, std::vector<chain::TxPtr>{}, 0, 1.0), 3.0,
+      1.0);
+  EXPECT_EQ(evidence.pruned_header(tree, tip_a).id(), header_b.id());
+}
+
 /// Full scenario: leader 0 equivocates; node 1 becomes leader, detects and
 /// places a poison transaction.
 class PoisonScenario : public ::testing::Test {

@@ -26,6 +26,11 @@ TEST(Registry, BuiltinsAreRegistered) {
   EXPECT_TRUE(has("ablation_keyblock_freq"));
   EXPECT_TRUE(has("ablation_power_drop"));
   EXPECT_TRUE(has("ablation_selfish_mining"));
+  EXPECT_TRUE(has("selfish_threshold"));
+  EXPECT_TRUE(has("partition_heal"));
+  EXPECT_TRUE(has("eclipse"));
+  EXPECT_TRUE(has("ng_poison"));
+  EXPECT_TRUE(has("attack_smoke"));
   EXPECT_TRUE(has("smoke"));
 }
 
@@ -80,6 +85,28 @@ TEST(Overrides, AppliesKnownKeys) {
   EXPECT_TRUE(cfg.verify_signatures);
   apply_config_override(cfg, "tie_break", "first-seen");
   EXPECT_EQ(cfg.params.tie_break, chain::TieBreak::kFirstSeen);
+}
+
+TEST(Overrides, AppliesAdversaryKeys) {
+  sim::ExperimentConfig cfg;
+  apply_config_override(cfg, "adversary", "selfish");
+  EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kSelfish);
+  apply_config_override(cfg, "adversary", "equivocate");
+  EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kEquivocate);
+  apply_config_override(cfg, "adversary", "withhold-micro");
+  EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kWithholdMicro);
+  apply_config_override(cfg, "adversary_node", "3");
+  EXPECT_EQ(cfg.adversary.node, 3u);
+  apply_config_override(cfg, "adversary_share", "0.33");
+  EXPECT_DOUBLE_EQ(cfg.adversary.power_share, 0.33);
+  apply_config_override(cfg, "adversary_gamma", "0.25");
+  EXPECT_DOUBLE_EQ(cfg.adversary.gamma, 0.25);
+  apply_config_override(cfg, "equivocate_every", "2");
+  EXPECT_EQ(cfg.adversary.equivocate_every, 2u);
+  apply_config_override(cfg, "adversary", "none");
+  EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kNone);
+  EXPECT_THROW(apply_config_override(cfg, "adversary", "mallory"),
+               std::invalid_argument);
 }
 
 TEST(Overrides, RejectsUnknownKeyAndBadValue) {

@@ -223,6 +223,58 @@ TEST(GoldenDigest, Fig7ScenarioUnchangedByCoreRefactors) {
       r, 1, {{1000700, 0x6232f74a15cb6639ull}, {1000701, 0xec109bd64ee843afull}});
 }
 
+TEST(GoldenDigest, Fig8aScenarioUnchangedByCoreRefactors) {
+  if (golden::skip_golden()) GTEST_SKIP() << "BNG_SKIP_GOLDEN_DIGEST set";
+  auto s = make_scenario("fig8a", RunKnobs{40, 8});
+  ASSERT_TRUE(s.has_value());
+  // protocol axis (bitcoin, ng) in full; frequency axis truncated to its
+  // first two values for test wall time.
+  ASSERT_EQ(s->axes.size(), 2u);
+  s->axes[1].values.resize(2);
+  const auto r = run_sweep(*s, options(2, 2));
+  ASSERT_EQ(r.points.size(), 4u);
+  golden::expect_digests(
+      r, 0, {{8100, 0xbdc086c64980f5ebull}, {8101, 0xb67ba22ca7ac90f1ull}});
+  golden::expect_digests(
+      r, 1, {{1008100, 0xa35fa180968aedb1ull}, {1008101, 0x61c11a2a574100c5ull}});
+  golden::expect_digests(
+      r, 2, {{2008100, 0x4c692b49546dfaecull}, {2008101, 0x1f18b89fb8ac6b75ull}});
+  golden::expect_digests(
+      r, 3, {{3008100, 0x93345961f183303eull}, {3008101, 0x337ef1efe3d904f0ull}});
+}
+
+TEST(GoldenDigest, Fig8bScenarioUnchangedByCoreRefactors) {
+  if (golden::skip_golden()) GTEST_SKIP() << "BNG_SKIP_GOLDEN_DIGEST set";
+  auto s = make_scenario("fig8b", RunKnobs{40, 8});
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->axes.size(), 2u);
+  s->axes[1].values.resize(2);  // 1280 B and 2500 B points
+  const auto r = run_sweep(*s, options(2, 2));
+  ASSERT_EQ(r.points.size(), 4u);
+  golden::expect_digests(
+      r, 0, {{8200, 0x302181edb06c9676ull}, {8201, 0x1c49a9bcd300f6ddull}});
+  golden::expect_digests(
+      r, 1, {{1008200, 0xd0283640f2c7dde3ull}, {1008201, 0xd05bcda541dce461ull}});
+  golden::expect_digests(
+      r, 2, {{2008200, 0xc8389c944b48edc6ull}, {2008201, 0x5e568d1f7d0e7f54ull}});
+  golden::expect_digests(
+      r, 3, {{3008200, 0x09930ad32b613390ull}, {3008201, 0xc0ea6a1652d82428ull}});
+}
+
+TEST(Sweep, AttackScenariosAreJobsInvariant) {
+  // Adversary + fault runs must stay a pure function of (scenario, seed):
+  // the attack smoke grid yields bit-identical digests for any --jobs.
+  auto s = make_scenario("attack_smoke", RunKnobs{24, 8});
+  ASSERT_TRUE(s.has_value());
+  const auto sequential = run_sweep(*s, options(2, 1));
+  const auto parallel = run_sweep(*s, options(2, 4));
+  ASSERT_EQ(sequential.points.size(), parallel.points.size());
+  for (std::size_t p = 0; p < sequential.points.size(); ++p)
+    for (std::size_t i = 0; i < sequential.points[p].seeds.size(); ++i)
+      EXPECT_EQ(sequential.points[p].seeds[i].digest, parallel.points[p].seeds[i].digest);
+  EXPECT_EQ(seeds_csv(sequential), seeds_csv(parallel));
+}
+
 TEST(Emit, JsonCarriesDigestsAndAggregates) {
   const auto r = run_sweep(mini_scenario(), options(2, 1));
   const std::string json = to_json(r);
