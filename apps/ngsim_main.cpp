@@ -17,8 +17,10 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <system_error>
 
 #include "runner/emit.hpp"
+#include "runner/executor.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
 
@@ -37,6 +39,8 @@ Options:
   --scenario-file PATH  load a key=value scenario file instead
   --seeds N             seeds per sweep point                 (default 1)
   --jobs N              worker threads; 0 = all cores         (default 0)
+  --procs N             worker *processes* instead of threads (default 0 = off)
+                        output is bit-identical to any --jobs run
   --nodes N             emulated node count                   (default 1000)
   --blocks N            counted blocks per run                (default 60)
   --out DIR             write <scenario>.json / .csv here     (default .)
@@ -44,7 +48,8 @@ Options:
   --list                list registered scenarios and exit
   --help                this text
 
-Environment fallbacks: REPRO_NODES, REPRO_BLOCKS, REPRO_SEEDS, REPRO_JOBS.
+Environment fallbacks: REPRO_NODES, REPRO_BLOCKS, REPRO_SEEDS, REPRO_JOBS,
+REPRO_PROCS.
 
 Scenario files (see bench/README.md):
   name = my_sweep
@@ -82,12 +87,30 @@ bool write_file(const std::filesystem::path& path, const std::string& content) {
     return false;
   }
   out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "ngsim: write to %s failed\n", path.string().c_str());
+    return false;
+  }
   return true;
+}
+
+/// The running binary's path, for exec'ing worker processes.
+std::string self_exe_path(const char* argv0) {
+  std::error_code ec;
+  auto p = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return p.string();
+  return argv0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: speak the record protocol on stdin/stdout and never
+  // touch the CLI surface (a stray printf would corrupt the framing).
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+    return bng::runner::worker_main(0, 1);
+
   std::string scenario_name;
   std::string scenario_file;
   std::string out_dir = ".";
@@ -97,6 +120,7 @@ int main(int argc, char** argv) {
   runner::SweepOptions options;
   options.seeds = runner::env_u32("REPRO_SEEDS", 1);
   options.jobs = runner::env_u32("REPRO_JOBS", 0);
+  options.procs = runner::env_u32("REPRO_PROCS", 0);
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -150,6 +174,11 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(arg, "--procs") == 0) {
+      if (!parse_u32_arg(arg, next, options.procs, 0)) return 1;
+      ++i;
+      continue;
+    }
     if (std::strcmp(arg, "--nodes") == 0) {
       if (!parse_u32_arg(arg, next, knobs.nodes, 2)) return 1;
       ++i;
@@ -192,6 +221,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Validate the output targets BEFORE dispatching any job: an unwritable
+  // --out must fail in milliseconds, not after the sweep. The probe opens
+  // in append mode so existing artifacts from an earlier run survive intact
+  // if this run later fails.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "ngsim: cannot create --out directory %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  const std::filesystem::path dir(out_dir);
+  const auto json_path = dir / (scenario->name + ".json");
+  const auto agg_path = dir / (scenario->name + "_aggregate.csv");
+  const auto seeds_path = dir / (scenario->name + "_seeds.csv");
+  for (const auto& path : {json_path, agg_path, seeds_path}) {
+    const bool existed = std::filesystem::exists(path, ec);
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "ngsim: cannot write %s\n", path.string().c_str());
+      return 1;
+    }
+    probe.close();
+    // The probe's job is done once the open succeeded: don't leave a
+    // zero-byte artifact behind if this run later fails.
+    if (!existed) std::filesystem::remove(path, ec);
+  }
+
+  if (options.procs > 0) options.worker_argv = {self_exe_path(argv[0]), "--worker"};
+
   try {
     const runner::SweepResult result = runner::run_sweep(*scenario, options);
     if (print_table) {
@@ -203,11 +262,6 @@ int main(int argc, char** argv) {
       runner::print_table(result);
     }
 
-    std::filesystem::create_directories(out_dir);
-    const std::filesystem::path dir(out_dir);
-    const auto json_path = dir / (result.scenario + ".json");
-    const auto agg_path = dir / (result.scenario + "_aggregate.csv");
-    const auto seeds_path = dir / (result.scenario + "_seeds.csv");
     if (!write_file(json_path, runner::to_json(result)) ||
         !write_file(agg_path, runner::aggregate_csv(result)) ||
         !write_file(seeds_path, runner::seeds_csv(result)))

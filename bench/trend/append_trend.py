@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Append a reduced micro_core benchmark run to the JSONL trend record.
+
+The trend store (ROADMAP "trend store" interim form) is one JSON object per
+line: commit, date, source, and a flat {benchmark name: cpu_time ns} map.
+Committed lines are baselines recorded by hand on the reference container;
+CI appends its own run to the artifact copy so drift is a one-line diff.
+
+Usage:
+  append_trend.py --in micro_core.json --out micro_core.jsonl \
+                  --commit <sha> [--source ci]
+"""
+import argparse
+import datetime
+import json
+
+
+def reduce_run(raw: dict, commit: str, source: str) -> dict:
+    benchmarks = {}
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        benchmarks[b["name"]] = round(float(b["cpu_time"]), 2)
+    return {
+        "commit": commit,
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d"),
+        "source": source,
+        "time_unit": "ns",
+        "benchmarks": benchmarks,
+    }
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--in", dest="infile", required=True)
+    ap.add_argument("--out", dest="outfile", required=True)
+    ap.add_argument("--commit", required=True)
+    ap.add_argument("--source", default="ci")
+    args = ap.parse_args()
+
+    with open(args.infile) as f:
+        raw = json.load(f)
+    record = reduce_run(raw, args.commit, args.source)
+    with open(args.outfile, "a") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"appended {len(record['benchmarks'])} benchmarks for {args.commit[:12]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -350,4 +350,20 @@ MetricsReport compute_metrics(const Experiment& exp, double epsilon, double delt
   return r;
 }
 
+std::vector<std::pair<std::string, double>> to_named_values(const MetricsReport& m) {
+  return {
+      {"time_to_prune_p90_s", m.time_to_prune_p90_s},
+      {"time_to_win_p90_s", m.time_to_win_p90_s},
+      {"mpu", m.mining_power_utilization},
+      {"fairness", m.fairness},
+      {"consensus_delay_s", m.consensus_delay_s},
+      {"tx_per_sec", m.tx_per_sec},
+      {"main_pow_blocks", static_cast<double>(m.main_chain_pow_blocks)},
+      {"total_pow_blocks", static_cast<double>(m.total_pow_blocks)},
+      {"main_micro_blocks", static_cast<double>(m.main_chain_micro_blocks)},
+      {"total_micro_blocks", static_cast<double>(m.total_micro_blocks)},
+      {"main_chain_txs", static_cast<double>(m.main_chain_txs)},
+  };
+}
+
 }  // namespace bng::metrics

@@ -38,6 +38,11 @@ struct MetricsReport {
 MetricsReport compute_metrics(const sim::Experiment& exp, double epsilon = 0.9,
                               double delta = 0.9);
 
+/// The report flattened to ordered (name, value) pairs — the shape run
+/// records and the sweep aggregator consume. A pure function of the report:
+/// the order is the record schema, so emitters print stable columns.
+std::vector<std::pair<std::string, double>> to_named_values(const MetricsReport& report);
+
 /// (ε,δ) consensus delay (§6): the δ-percentile over sample times of the
 /// ε-point-consensus delay, sampled at block generation times (§8 "Metrics").
 double consensus_delay(const sim::Experiment& exp, double epsilon, double delta);
@@ -80,6 +85,24 @@ struct AttackerReport {
 
 /// Revenue/fairness accounting for one designated attacker node.
 AttackerReport attacker_report(const sim::Experiment& exp, NodeId attacker);
+
+/// Visit every AttackerReport field as (name, member reference) in the one
+/// canonical schema order shared by the record codec's binary and JSON
+/// forms and the sweep JSON emitter: doubles first, then u32 counts, then
+/// u64 counts. Add a field HERE and every representation picks it up;
+/// callers dispatch on the member type with `if constexpr`.
+template <class Report, class Fn>
+void visit_attacker_fields(Report&& r, Fn&& fn) {
+  fn("revenue_share", r.revenue_share);
+  fn("fair_share", r.fair_share);
+  fn("relative_gain", r.relative_gain);
+  fn("attacker_acceptance", r.attacker_acceptance);
+  fn("honest_acceptance", r.honest_acceptance);
+  fn("attacker_main_blocks", r.attacker_main_blocks);
+  fn("main_blocks", r.main_blocks);
+  fn("attacker_generated", r.attacker_generated);
+  fn("total_generated", r.total_generated);
+}
 
 /// One-way block propagation delays pooled over (block, node) pairs:
 /// receipt_time - generation_time. Drives Figure 7.

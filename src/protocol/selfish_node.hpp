@@ -23,9 +23,11 @@ template <class Base>
 class SelfishNode : public Base {
  public:
   SelfishNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeConfig cfg,
-              Rng rng, IBlockObserver* observer)
+              Rng rng, IBlockObserver* observer,
+              WithholdingStrategy::Mode mode = WithholdingStrategy::Mode::kSm1)
       : Base(id, net, std::move(genesis), selfish_config(std::move(cfg)), rng, observer),
-        strategy_(this->tree_, [this](BlockId block) { this->announce(block, this->id_); }) {}
+        strategy_(this->tree_, [this](BlockId block) { this->announce(block, this->id_); },
+                  mode) {}
 
   /// Mines on the *private* chain and withholds the block (SM1).
   void on_mining_win(double work) override {

@@ -6,8 +6,8 @@
 namespace bng::protocol {
 
 WithholdingStrategy::WithholdingStrategy(const chain::BlockTree& tree,
-                                         std::function<void(BlockId)> publish)
-    : tree_(tree), publish_(std::move(publish)) {}
+                                         std::function<void(BlockId)> publish, Mode mode)
+    : tree_(tree), publish_(std::move(publish)), mode_(mode) {}
 
 bool WithholdingStrategy::is_private(BlockId id) const {
   return std::find(private_blocks_.begin(), private_blocks_.end(), id) !=
@@ -20,10 +20,11 @@ void WithholdingStrategy::end_own_win() {
   processing_own_win_ = false;
   private_blocks_.push_back(tree_.best_entry().id);
 
-  // SM1 state 0' -> win: we were racing head-to-head and just mined on our
-  // own branch; publish and take both blocks' rewards.
+  // State 0' -> win: we were racing head-to-head and just mined on our own
+  // branch. SM1 publishes and takes both blocks' rewards; the stubborn
+  // variant keeps the fresh lead private and goes on withholding.
   if (racing_ && private_work() > race_work_) {
-    publish_all();
+    if (mode_ == Mode::kSm1) publish_all();
     racing_ = false;
   }
 }
@@ -72,9 +73,16 @@ void WithholdingStrategy::on_accept(std::uint32_t index, bool own) {
     race_work_ = private_work();
     publish_all();
     racing_ = true;
-  } else if (lead == 1) {
+  } else if (lead == 1 && mode_ == Mode::kSm1) {
     // We lead by exactly one after their find: reveal all and win outright.
     publish_all();
+  } else if (lead == 1) {
+    // Lead-stubborn: refuse the safe cash-out. Reveal only the block that
+    // matches the public height and race at that level with the newest block
+    // still withheld.
+    race_work_ = public_best_work_;
+    publish_until(public_best_work_);
+    racing_ = true;
   } else {
     // Comfortable lead: reveal just enough to match the public height and
     // keep the honest network wasting work on a losing branch.

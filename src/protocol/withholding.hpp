@@ -34,9 +34,23 @@ namespace bng::protocol {
 
 class WithholdingStrategy {
  public:
+  enum class Mode : std::uint8_t {
+    /// Classic SM1 (Eyal & Sirer): at a one-block lead after an honest find,
+    /// reveal everything and take the safe win.
+    kSm1,
+    /// Lead-stubborn mining (Nayak et al., EuroS&P 2016, the L variant):
+    /// never perform SM1's lead-1 cash-out. On every honest find the
+    /// attacker reveals only up to the public work level and keeps racing on
+    /// its private tip; a race won by mining stays withheld instead of being
+    /// published. Riskier block-for-block, but it keeps the honest network
+    /// split for longer, which pays at high alpha/gamma.
+    kLeadStubborn,
+  };
+
   /// `publish` announces one private block to the network (the host node's
   /// announce()). Called only from end_own_win() / on_accept().
-  WithholdingStrategy(const chain::BlockTree& tree, std::function<void(BlockId)> publish);
+  WithholdingStrategy(const chain::BlockTree& tree, std::function<void(BlockId)> publish,
+                      Mode mode = Mode::kSm1);
 
   /// Bracket the host's base-class on_mining_win() call: the freshly mined
   /// block flows through after_accept while "processing own win" is set, so
@@ -72,6 +86,7 @@ class WithholdingStrategy {
 
   const chain::BlockTree& tree_;
   std::function<void(BlockId)> publish_;
+  Mode mode_ = Mode::kSm1;
 
   /// Unpublished own blocks by interned id, oldest first (a suffix of the
   /// private chain; zero-weight blocks interleave behind their key block).

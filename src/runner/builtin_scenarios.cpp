@@ -366,6 +366,52 @@ Scenario make_selfish_threshold(const RunKnobs& knobs) {
   return s;
 }
 
+// --- eclipse_selfish: SM1 withholding + eclipse of honest hubs ---------------
+// ROADMAP's named composition ("eclipse-assisted selfish mining"): the
+// declarative AdversarySpec and the FaultPlan compose freely, so the selfish
+// miner can be paired with an eclipse of the best-connected honest nodes.
+// While the hubs are dark the honest network finds and propagates fewer
+// competing blocks, which plays like a higher effective gamma: the attack
+// pays at an alpha where plain SM1 would not.
+Scenario make_eclipse_selfish(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "eclipse_selfish";
+  s.description =
+      "SM1 selfish mining while honest hub nodes are eclipsed; revenue share vs "
+      "blackout length";
+  s.seed_base = 9300;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 60u);
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.block_interval = 10;
+  s.base.params.max_block_size = 4000;
+  s.base.target_blocks = std::max(knobs.blocks * 5, 300u);
+  s.base.drain_time = 60;
+  s.base.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+  s.base.adversary.power_share = 0.30;
+  Axis axis{"eclipse_s", {}};
+  for (double dur : {0.0, 600.0, 1800.0}) {
+    axis.values.push_back(AxisValue{
+        fmt("dark=%.0fs", dur), dur, [dur](sim::ExperimentConfig& cfg) {
+          cfg.faults = {};
+          if (dur <= 0) return;
+          // Nodes 1-3: the first honest ids. Under the adversary's flat
+          // honest population they stand in for the hubs the attacker's
+          // sybils would surround in a real deployment.
+          for (NodeId hub : {1u, 2u, 3u})
+            cfg.faults.eclipses.push_back(net::FaultPlan::Eclipse{60.0, 60.0 + dur, hub});
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("revenue_share", a.revenue_share);
+    v.emplace_back("fair_share", a.fair_share);
+    v.emplace_back("relative_gain", a.relative_gain);
+  };
+  return s;
+}
+
 // --- partition_heal: timed split of the overlay ------------------------------
 Scenario make_partition_heal(const RunKnobs& knobs) {
   Scenario s;
@@ -570,6 +616,7 @@ void register_builtin_scenarios() {
       {"selfish_threshold", make_selfish_threshold},
       {"partition_heal", make_partition_heal},
       {"eclipse", make_eclipse},
+      {"eclipse_selfish", make_eclipse_selfish},
       {"ng_poison", make_ng_poison},
       {"attack_smoke", make_attack_smoke},
       {"smoke", make_smoke},

@@ -4,32 +4,13 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <type_traits>
+
+#include "runner/record_codec.hpp"  // json_escape
 
 namespace bng::runner {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 std::string fmt_double(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
@@ -78,11 +59,7 @@ std::string to_json(const SweepResult& r) {
   field("description", json_escape(r.description), true);
   j += ",\n  \"config\": {";
   field("seeds", std::to_string(r.seeds), false);
-  j += ", ";
-  field("jobs", std::to_string(r.jobs), false);
-  j += "},\n  ";
-  field("wall_s", fmt_double(r.wall_s), false);
-  j += ",\n  \"points\": [\n";
+  j += "},\n  \"points\": [\n";
   for (std::size_t p = 0; p < r.points.size(); ++p) {
     const PointResult& point = r.points[p];
     j += "    {";
@@ -91,11 +68,23 @@ std::string to_json(const SweepResult& r) {
     field("x", fmt_double(point.x), false);
     j += ",\n     \"seeds\": [\n";
     for (std::size_t s = 0; s < point.seeds.size(); ++s) {
-      const SeedResult& seed = point.seeds[s];
+      const RunRecord& seed = point.seeds[s];
       j += "       {";
       field("seed", std::to_string(seed.seed), false);
       j += ", ";
       field("digest", fmt_digest(seed.digest), true);
+      if (seed.attacker) {
+        j += ", \"attacker\": {";
+        bool first = true;
+        metrics::visit_attacker_fields(*seed.attacker, [&](const char* name, auto v) {
+          if (!first) j += ", ";
+          first = false;
+          using T = std::decay_t<decltype(v)>;
+          if constexpr (std::is_same_v<T, double>) field(name, fmt_double(v), false);
+          else field(name, std::to_string(v), false);
+        });
+        j += '}';
+      }
       j += ", \"metrics\": {";
       for (std::size_t m = 0; m < seed.values.size(); ++m) {
         if (m > 0) j += ", ";
@@ -177,7 +166,7 @@ std::string seeds_csv(const SweepResult& r) {
   csv += '\n';
   for (const PointResult& point : r.points) {
     const std::string label = point_label(point);
-    for (const SeedResult& seed : point.seeds) {
+    for (const RunRecord& seed : point.seeds) {
       csv += label;
       csv += ',';
       csv += fmt_double(point.x);
@@ -212,8 +201,10 @@ void print_table(const SweepResult& r, std::FILE* out) {
                  aggregate_mean(point, "main_pow_blocks"),
                  aggregate_mean(point, "total_pow_blocks"));
   }
-  std::fprintf(out, "(%u seed%s/point, %u job%s, %.1fs wall)\n", r.seeds,
-               r.seeds == 1 ? "" : "s", r.jobs, r.jobs == 1 ? "" : "s", r.wall_s);
+  std::fprintf(out, "(%u seed%s/point, %u %s%s, %.1fs wall)\n", r.seeds,
+               r.seeds == 1 ? "" : "s", r.jobs,
+               r.procs > 0 ? "worker process" : "job",
+               r.jobs == 1 ? "" : (r.procs > 0 ? "es" : "s"), r.wall_s);
 }
 
 }  // namespace bng::runner

@@ -12,7 +12,10 @@
 namespace bng::runner {
 
 /// Full result as a JSON document: scenario header, per-point per-seed
-/// records (with determinism digests) and per-metric aggregates.
+/// records (with determinism digests and, for adversary configs, the
+/// attacker report) and per-metric aggregates. A pure function of the
+/// records — no wall time, no lane count — so the artifact is bit-identical
+/// across --jobs/--procs values (the run diagnostics live in the table).
 std::string to_json(const SweepResult& result);
 
 /// Long-form aggregate CSV:

@@ -1,0 +1,116 @@
+#include "runner/executor.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/experiment.hpp"
+
+namespace bng::runner {
+
+RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
+                  std::uint32_t point_index, std::uint32_t ordinal,
+                  std::shared_ptr<const sim::PrebuiltWorkload> pool) {
+  sim::ExperimentConfig cfg = point.config;
+  cfg.seed = job_seed(scenario.seed_base, point_index, ordinal);
+  cfg.shared_workload = std::move(pool);
+
+  sim::Experiment exp(std::move(cfg));
+  NamedValues hook_values;
+  if (scenario.run) {
+    exp.build();
+    scenario.run(exp, hook_values);
+  } else {
+    exp.run();
+  }
+  NamedValues values = standard_metric_values(exp);
+  values.insert(values.end(), hook_values.begin(), hook_values.end());
+  if (scenario.extra) scenario.extra(exp, values);
+  return extract_record(exp, std::move(values), point_index, ordinal);
+}
+
+namespace {
+
+/// Per-point shared state: the lazily built tx pool and the count of jobs
+/// still due to use it. The last finishing job drops the pool so a long
+/// sweep holds at most (active points) pools, not all of them.
+struct PointState {
+  std::once_flag build_once;
+  std::shared_ptr<const sim::PrebuiltWorkload> pool;
+  std::atomic<std::uint32_t> remaining{0};
+};
+
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(std::uint32_t jobs) : jobs_(jobs) {}
+
+  std::uint32_t run(const ExecutionPlan& plan, const RecordSink& sink) override {
+    const std::size_t n_jobs =
+        plan.points.size() * static_cast<std::size_t>(plan.seeds);
+    std::uint32_t workers = jobs_;
+    if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<std::uint32_t>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(n_jobs, 1)));
+
+    std::vector<PointState> states(plan.points.size());
+    for (auto& st : states) st.remaining.store(plan.seeds, std::memory_order_relaxed);
+
+    std::atomic<std::size_t> next_job{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto run_one = [&](std::size_t job) {
+      const std::size_t p = job / plan.seeds;
+      const auto ordinal = static_cast<std::uint32_t>(job % plan.seeds);
+
+      PointState& st = states[p];
+      if (plan.share_workload) {
+        // The pool is a seed-independent pure function of the point config
+        // (which job wins the call_once race must not matter), so the
+        // config goes in with its seed untouched.
+        std::call_once(st.build_once,
+                       [&] { st.pool = sim::build_shared_workload(plan.points[p].config); });
+      }
+      // run_job scopes the experiment, so it is destroyed on this worker
+      // thread before the pool refcount below is released.
+      sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
+                   ordinal, st.pool));
+      if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();
+    };
+
+    auto worker_loop = [&] {
+      for (;;) {
+        const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
+        if (job >= n_jobs) return;
+        try {
+          run_one(job);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          // Drain the queue: later jobs are skipped once a job has failed.
+          next_job.store(n_jobs, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop);
+    for (auto& t : threads) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    return workers;
+  }
+
+ private:
+  std::uint32_t jobs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Executor> make_thread_executor(std::uint32_t jobs) {
+  return std::make_unique<ThreadPoolExecutor>(jobs);
+}
+
+}  // namespace bng::runner

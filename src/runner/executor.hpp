@@ -1,0 +1,84 @@
+// Executor: the pluggable dispatch substrate under the sweep engine.
+//
+// run_sweep expands a scenario into (point × seed) jobs and hands them to an
+// Executor; the executor runs every job and streams back one RunRecord per
+// job. Two implementations ship today:
+//
+//  * ThreadPoolExecutor — the original in-process worker threads;
+//  * ProcessPoolExecutor — fork/exec'd `ngsim --worker` children speaking
+//    the length-prefixed record protocol of runner/record_codec.hpp over a
+//    socketpair, with crash detection and job re-dispatch.
+//
+// Both are pure functions of (scenario, points): records are delivered in
+// arbitrary order but carry their own (point, ordinal) identity, and the
+// caller merges them into deterministic slots — so any executor at any
+// width yields bit-identical sweep output. A multi-machine dispatcher is
+// "ProcessPoolExecutor over a socket" and slots in the same way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/record.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::runner {
+
+/// What an executor needs to run a sweep. `points` must be expand(scenario)
+/// — process-pool workers re-expand from scenario.source and the two grids
+/// must agree.
+struct ExecutionPlan {
+  const Scenario& scenario;
+  const std::vector<SweepPoint>& points;
+  std::uint32_t seeds = 1;
+  bool share_workload = true;
+};
+
+/// Receives each finished record exactly once, possibly from worker threads
+/// (never concurrently for the same job; jobs write disjoint slots).
+using RecordSink = std::function<void(RunRecord)>;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Run every (point × seed) job, delivering each record through `sink`.
+  /// Returns the parallel width actually used (threads or processes).
+  /// Throws (after quiescing its workers) if any job fails.
+  virtual std::uint32_t run(const ExecutionPlan& plan, const RecordSink& sink) = 0;
+};
+
+/// In-process pool of `jobs` worker threads (0 = hardware concurrency).
+std::unique_ptr<Executor> make_thread_executor(std::uint32_t jobs);
+
+struct ProcessPoolOptions {
+  /// Worker process count (>= 1; clamped to the job count).
+  std::uint32_t procs = 1;
+  /// argv prefix to exec for each worker, e.g. {"/path/to/ngsim",
+  /// "--worker"}. Empty: fork without exec and run worker_main in the child
+  /// directly (used by tests; inherits the parent's scenario registry).
+  std::vector<std::string> worker_argv;
+  /// Test hook: deliver a kill order to the first worker's handshake — it
+  /// SIGKILLs itself when handed its (n+1)-th job, exercising crash
+  /// detection and re-dispatch. Negative: disabled.
+  int kill_worker0_after_jobs = -1;
+};
+
+std::unique_ptr<Executor> make_process_pool_executor(ProcessPoolOptions options);
+
+/// Run one job. The shared pool may be null (the experiment then builds its
+/// own workload). Pure function of its arguments — every executor and the
+/// worker process funnel through this.
+RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
+                  std::uint32_t point_index, std::uint32_t ordinal,
+                  std::shared_ptr<const sim::PrebuiltWorkload> pool);
+
+/// Entry point of the `ngsim --worker` mode: speak the worker protocol over
+/// the given fds (stdin/stdout when exec'd) until EOF. Returns the process
+/// exit code. Never throws; fatal errors are reported as 'E' frames.
+int worker_main(int in_fd, int out_fd);
+
+}  // namespace bng::runner

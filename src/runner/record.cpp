@@ -1,0 +1,47 @@
+#include "runner/record.hpp"
+
+#include <utility>
+
+#include "runner/digest.hpp"
+#include "sim/experiment.hpp"
+#include "sim/trace.hpp"
+
+namespace bng::runner {
+
+namespace {
+
+std::uint64_t seed_digest(const sim::Experiment& exp, const NamedValues& values) {
+  Digest d;
+  for (const auto& g : exp.trace().generated()) {
+    d.bytes(g.block->id().bytes.data(), g.block->id().bytes.size());
+    d.u64(g.miner);
+    d.f64(g.at);
+  }
+  d.u64(exp.trace().pow_blocks());
+  for (const auto& [name, value] : values) {
+    d.bytes(name.data(), name.size());
+    d.f64(value);
+  }
+  return d.h;
+}
+
+}  // namespace
+
+NamedValues standard_metric_values(const sim::Experiment& exp) {
+  return metrics::to_named_values(metrics::compute_metrics(exp));
+}
+
+RunRecord extract_record(const sim::Experiment& exp, NamedValues values,
+                         std::uint32_t point, std::uint32_t ordinal) {
+  RunRecord rec;
+  rec.point = point;
+  rec.ordinal = ordinal;
+  rec.seed = exp.config().seed;
+  rec.values = std::move(values);
+  rec.digest = seed_digest(exp, rec.values);
+  if (exp.config().adversary.active())
+    rec.attacker = metrics::attacker_report(exp, exp.config().adversary.node);
+  return rec;
+}
+
+}  // namespace bng::runner

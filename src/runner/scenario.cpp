@@ -97,7 +97,9 @@ std::optional<Scenario> make_scenario(const std::string& name, const RunKnobs& k
     if (it == registry().end()) return std::nullopt;
     factory = it->second.factory;
   }
-  return factory(knobs);
+  Scenario s = factory(knobs);
+  s.source = ScenarioSource{ScenarioSource::Kind::kBuiltin, name, knobs};
+  return s;
 }
 
 std::vector<std::pair<std::string, std::string>> list_scenarios() {
@@ -189,13 +191,16 @@ void apply_config_override(sim::ExperimentConfig& cfg, std::string_view key,
       cfg.adversary.kind = sim::AdversarySpec::Kind::kNone;
     } else if (value == "selfish") {
       cfg.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+    } else if (value == "stubborn") {
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kStubborn;
     } else if (value == "equivocate") {
       cfg.adversary.kind = sim::AdversarySpec::Kind::kEquivocate;
     } else if (value == "withhold-micro") {
       cfg.adversary.kind = sim::AdversarySpec::Kind::kWithholdMicro;
     } else {
-      throw std::invalid_argument("unknown adversary '" + std::string(value) +
-                                  "' (none | selfish | equivocate | withhold-micro)");
+      throw std::invalid_argument(
+          "unknown adversary '" + std::string(value) +
+          "' (none | selfish | stubborn | equivocate | withhold-micro)");
     }
   } else if (key == "adversary_node") {
     cfg.adversary.node = static_cast<NodeId>(parse_u64(key, value));
@@ -233,12 +238,23 @@ std::vector<std::string> config_override_keys() {
 Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open scenario file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return load_scenario_string(buffer.str(), path, knobs);
+}
+
+Scenario load_scenario_string(const std::string& text, const std::string& origin,
+                              const RunKnobs& knobs) {
+  std::istringstream in(text);
 
   Scenario s;
   s.name = "custom";
-  s.description = "scenario file " + path;
+  s.description = "scenario file " + origin;
   s.base.num_nodes = knobs.nodes;
   s.base.target_blocks = knobs.blocks;
+  // The raw text is the canonical shippable form: a worker re-parses it and
+  // lands on the identical scenario, no shared filesystem required.
+  s.source = ScenarioSource{ScenarioSource::Kind::kInline, text, knobs};
 
   std::string line;
   int line_no = 0;
@@ -249,7 +265,7 @@ Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs) {
     if (sv.empty()) continue;
     auto eq = sv.find('=');
     if (eq == std::string_view::npos)
-      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+      throw std::runtime_error(origin + ":" + std::to_string(line_no) +
                                ": expected 'key = value'");
     std::string_view key = trim(sv.substr(0, eq));
     std::string_view value = trim(sv.substr(eq + 1));
@@ -290,7 +306,7 @@ Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs) {
         throw std::invalid_argument("unknown directive '" + std::string(key) + "'");
       }
     } catch (const std::invalid_argument& e) {
-      throw std::runtime_error(path + ":" + std::to_string(line_no) + ": " + e.what());
+      throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
     }
   }
   return s;

@@ -60,6 +60,22 @@ struct Axis {
 using RunHook = std::function<void(sim::Experiment&, NamedValues&)>;
 using ExtraHook = std::function<void(const sim::Experiment&, NamedValues&)>;
 
+/// How a Scenario can be reconstructed in another process: the registered
+/// name (plus the knobs it was instantiated with), or the full scenario-file
+/// text. This is the canonical serialized form an ExperimentConfig crosses a
+/// process boundary in — scenario identity + the key=value override grammar,
+/// not a struct dump — so hooks (run/extra lambdas) survive the trip by
+/// being re-instantiated on the far side.
+struct ScenarioSource {
+  enum class Kind : std::uint8_t {
+    kBuiltin,  ///< `ref` is a registered scenario name
+    kInline,   ///< `ref` is scenario-file text (load_scenario_string grammar)
+  };
+  Kind kind = Kind::kBuiltin;
+  std::string ref;
+  RunKnobs knobs;
+};
+
 struct Scenario {
   std::string name;
   std::string description;
@@ -69,6 +85,9 @@ struct Scenario {
   std::uint64_t seed_base = 9000;
   RunHook run;
   ExtraHook extra;
+  /// Set by make_scenario / the scenario-file loaders; required for
+  /// process-pool execution (workers rebuild the scenario from it).
+  std::optional<ScenarioSource> source;
 };
 
 /// A materialized cell of the sweep grid: base + one delta per axis.
@@ -116,5 +135,10 @@ std::vector<std::string> config_override_keys();
 /// adds one sweep axis (file order). Throws std::runtime_error on I/O or
 /// parse errors.
 Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs);
+
+/// Parse scenario text in the load_scenario_file grammar. `origin` labels
+/// parse errors (a path, or "<inline>" for text shipped to a worker).
+Scenario load_scenario_string(const std::string& text, const std::string& origin,
+                              const RunKnobs& knobs);
 
 }  // namespace bng::runner

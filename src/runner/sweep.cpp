@@ -2,61 +2,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <exception>
-#include <memory>
-#include <mutex>
-#include <thread>
+#include <stdexcept>
 
-#include "metrics/metrics.hpp"
-#include "runner/digest.hpp"
-#include "sim/trace.hpp"
+#include "runner/executor.hpp"
 
 namespace bng::runner {
-
-namespace {
-
-/// Per-point shared state: the lazily built tx pool and the count of jobs
-/// still due to use it. The last finishing job drops the pool so a long
-/// sweep holds at most (active points) pools, not all of them.
-struct PointState {
-  std::once_flag build_once;
-  std::shared_ptr<const sim::PrebuiltWorkload> pool;
-  std::atomic<std::uint32_t> remaining{0};
-};
-
-std::uint64_t seed_digest(const sim::Experiment& exp, const NamedValues& values) {
-  Digest d;
-  for (const auto& g : exp.trace().generated()) {
-    d.bytes(g.block->id().bytes.data(), g.block->id().bytes.size());
-    d.u64(g.miner);
-    d.f64(g.at);
-  }
-  d.u64(exp.trace().pow_blocks());
-  for (const auto& [name, value] : values) {
-    d.bytes(name.data(), name.size());
-    d.f64(value);
-  }
-  return d.h;
-}
-
-}  // namespace
-
-NamedValues standard_metric_values(const sim::Experiment& exp) {
-  const metrics::MetricsReport m = metrics::compute_metrics(exp);
-  return {
-      {"time_to_prune_p90_s", m.time_to_prune_p90_s},
-      {"time_to_win_p90_s", m.time_to_win_p90_s},
-      {"mpu", m.mining_power_utilization},
-      {"fairness", m.fairness},
-      {"consensus_delay_s", m.consensus_delay_s},
-      {"tx_per_sec", m.tx_per_sec},
-      {"main_pow_blocks", static_cast<double>(m.main_chain_pow_blocks)},
-      {"total_pow_blocks", static_cast<double>(m.total_pow_blocks)},
-      {"main_micro_blocks", static_cast<double>(m.main_chain_micro_blocks)},
-      {"total_micro_blocks", static_cast<double>(m.total_micro_blocks)},
-      {"main_chain_txs", static_cast<double>(m.main_chain_txs)},
-  };
-}
 
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -68,6 +18,7 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   result.scenario = scenario.name;
   result.description = scenario.description;
   result.seeds = seeds;
+  result.procs = options.procs;
   result.points.resize(points.size());
   for (std::size_t p = 0; p < points.size(); ++p) {
     result.points[p].labels = points[p].labels;
@@ -75,80 +26,41 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
     result.points[p].seeds.resize(seeds);
   }
 
-  std::vector<PointState> states(points.size());
-  for (auto& st : states) st.remaining.store(seeds, std::memory_order_relaxed);
-
-  const std::size_t n_jobs = points.size() * seeds;
-  std::uint32_t workers = options.jobs;
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
-  workers = static_cast<std::uint32_t>(std::min<std::size_t>(workers, std::max<std::size_t>(n_jobs, 1)));
-  result.jobs = workers;
-
-  std::atomic<std::size_t> next_job{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto run_job = [&](std::size_t job) {
-    const std::size_t p = job / seeds;
-    const std::uint32_t ordinal = static_cast<std::uint32_t>(job % seeds);
-
-    sim::ExperimentConfig cfg = points[p].config;
-    cfg.seed = scenario.seed_base + static_cast<std::uint64_t>(p) * 1'000'000 + ordinal;
-
-    PointState& st = states[p];
-    if (options.share_workload) {
-      std::call_once(st.build_once,
-                     [&] { st.pool = sim::build_shared_workload(cfg); });
-      cfg.shared_workload = st.pool;
-    }
-
-    SeedResult& slot = result.points[p].seeds[ordinal];
-    slot.seed = cfg.seed;
-    {
-      // Scope the experiment so it is destroyed on this worker thread
-      // before the pool refcount below is released.
-      sim::Experiment exp(std::move(cfg));
-      if (scenario.run) {
-        exp.build();
-        scenario.run(exp, slot.values);
-      } else {
-        exp.run();
-      }
-      NamedValues standard = standard_metric_values(exp);
-      standard.insert(standard.end(), slot.values.begin(), slot.values.end());
-      slot.values = std::move(standard);
-      if (scenario.extra) scenario.extra(exp, slot.values);
-      slot.digest = seed_digest(exp, slot.values);
-    }
-    if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();
+  // Records stream in carrying their own identity and land in their slot:
+  // the merge order is a function of (point, ordinal) alone, never of
+  // executor scheduling — that is what makes --procs N bit-identical to
+  // --jobs N for every N.
+  std::atomic<std::size_t> delivered{0};
+  auto sink = [&](RunRecord rec) {
+    if (rec.point >= result.points.size() || rec.ordinal >= seeds)
+      throw std::runtime_error("run_sweep: record identity out of range");
+    result.points[rec.point].seeds[rec.ordinal] = std::move(rec);
+    delivered.fetch_add(1, std::memory_order_relaxed);
   };
 
-  auto worker_loop = [&] {
-    for (;;) {
-      const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
-      if (job >= n_jobs) return;
-      try {
-        run_job(job);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Drain the queue: later jobs are skipped once a job has failed.
-        next_job.store(n_jobs, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
+  const ExecutionPlan plan{scenario, points, seeds, options.share_workload};
+  std::unique_ptr<Executor> executor;
+  if (options.procs > 0) {
+    ProcessPoolOptions popt;
+    popt.procs = options.procs;
+    popt.worker_argv = options.worker_argv;
+    popt.kill_worker0_after_jobs = options.test_kill_worker0_after_jobs;
+    executor = make_process_pool_executor(std::move(popt));
+  } else {
+    executor = make_thread_executor(options.jobs);
+  }
+  result.jobs = executor->run(plan, sink);
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_loop);
-  for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  const std::size_t n_jobs = points.size() * static_cast<std::size_t>(seeds);
+  if (delivered.load(std::memory_order_relaxed) != n_jobs)
+    throw std::runtime_error("run_sweep: executor lost records (" +
+                             std::to_string(delivered.load()) + " of " +
+                             std::to_string(n_jobs) + " delivered)");
 
   for (PointResult& point : result.points) {
     std::vector<NamedValues> records;
     records.reserve(point.seeds.size());
-    for (const SeedResult& s : point.seeds) records.push_back(s.values);
+    for (const RunRecord& r : point.seeds) records.push_back(r.values);
     point.aggregates = aggregate_records(records);
   }
 

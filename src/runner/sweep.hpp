@@ -1,12 +1,14 @@
-// Parallel sweep engine: fans (sweep point × seed) jobs across a thread
-// pool and folds the per-seed metrics into aggregates.
+// Sweep engine: expands a scenario into (point × seed) jobs, hands them to
+// a pluggable Executor (runner/executor.hpp — in-process threads or the
+// ngsim --worker process pool), and folds the streamed RunRecords into
+// per-point aggregates.
 //
 // Determinism: each job's RNG seed is a pure function of its identity
-// (scenario seed_base, point index, seed ordinal), every job writes only its
-// own preallocated result slot, and the shared tx pool is generated once per
-// sweep point from seed-independent parameters — so results are
-// bit-identical regardless of the number of worker threads or the order the
-// pool schedules jobs in. Each per-seed record carries an FNV-1a determinism
+// (scenario seed_base, point index, seed ordinal), every record carries that
+// identity and is merged into its own preallocated slot, and the shared tx
+// pool is generated once per sweep point from seed-independent parameters —
+// so results are bit-identical regardless of the executor, its width, or
+// the order records arrive in. Each record carries an FNV-1a determinism
 // digest as the witness.
 #pragma once
 
@@ -15,30 +17,34 @@
 #include <vector>
 
 #include "runner/aggregate.hpp"
+#include "runner/record.hpp"
 #include "runner/scenario.hpp"
 
 namespace bng::runner {
 
 struct SweepOptions {
   std::uint32_t seeds = 1;
-  /// Worker threads; 0 = hardware concurrency. Results are identical for
-  /// any value.
+  /// Worker threads when procs == 0; 0 = hardware concurrency. Results are
+  /// identical for any value.
   std::uint32_t jobs = 1;
+  /// Worker *processes*; 0 = run in-process on `jobs` threads. Requires a
+  /// shippable scenario (registered name or scenario file). Results are
+  /// bit-identical to any in-process run.
+  std::uint32_t procs = 0;
   /// One immutable pre-generated tx pool per sweep point, shared by all of
   /// its seeds (instead of a per-seed copy).
   bool share_workload = true;
-};
-
-struct SeedResult {
-  std::uint64_t seed = 0;
-  std::uint64_t digest = 0;  ///< FNV-1a over the run's observable outputs
-  NamedValues values;
+  /// argv prefix exec'd for each worker process (e.g. {"/proc/self/exe",
+  /// "--worker"}). Empty: fork without exec (same binary, no exec).
+  std::vector<std::string> worker_argv;
+  /// Test hook (see ProcessPoolOptions::kill_worker0_after_jobs).
+  int test_kill_worker0_after_jobs = -1;
 };
 
 struct PointResult {
   std::vector<std::string> labels;
   double x = 0;
-  std::vector<SeedResult> seeds;  ///< ordered by seed ordinal
+  std::vector<RunRecord> seeds;  ///< ordered by seed ordinal
   std::vector<std::pair<std::string, MetricAggregate>> aggregates;
 };
 
@@ -46,16 +52,14 @@ struct SweepResult {
   std::string scenario;
   std::string description;
   std::uint32_t seeds = 1;
-  std::uint32_t jobs = 1;  ///< worker threads actually used
+  std::uint32_t jobs = 1;   ///< parallel lanes actually used (threads or procs)
+  std::uint32_t procs = 0;  ///< worker processes (0 = in-process threads)
   double wall_s = 0;
   std::vector<PointResult> points;
 };
 
 /// Run every (point, seed) job of the scenario. Rethrows the first job
-/// failure after all workers have stopped.
+/// failure after the executor has quiesced.
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options);
-
-/// Flatten a metrics report into the engine's named-value record shape.
-NamedValues standard_metric_values(const sim::Experiment& exp);
 
 }  // namespace bng::runner

@@ -176,18 +176,23 @@ std::unique_ptr<protocol::BaseNode> Experiment::make_adversary(
   using Kind = AdversarySpec::Kind;
   switch (cfg_.adversary.kind) {
     case Kind::kSelfish:
+    case Kind::kStubborn: {
+      const auto mode = cfg_.adversary.kind == Kind::kStubborn
+                            ? protocol::WithholdingStrategy::Mode::kLeadStubborn
+                            : protocol::WithholdingStrategy::Mode::kSm1;
       switch (cfg_.params.protocol) {
         case chain::Protocol::kBitcoin:
           return std::make_unique<bitcoin::SelfishMiner>(id, *network_, genesis_, ncfg,
-                                                         node_rng, trace_.get());
+                                                         node_rng, trace_.get(), mode);
         case chain::Protocol::kBitcoinNG:
           return std::make_unique<ng::SelfishNgMiner>(id, *network_, genesis_, ncfg,
-                                                      node_rng, trace_.get());
+                                                      node_rng, trace_.get(), mode);
         case chain::Protocol::kGhost:
           return std::make_unique<ghost::SelfishGhostMiner>(id, *network_, genesis_, ncfg,
-                                                            node_rng, trace_.get());
+                                                            node_rng, trace_.get(), mode);
       }
       break;
+    }
     case Kind::kEquivocate:
       return std::make_unique<ng::MaliciousLeader>(
           id, *network_, genesis_, ncfg, node_rng, trace_.get(),

@@ -31,6 +31,10 @@ struct AdversarySpec {
     /// SM1 block withholding (protocol::WithholdingStrategy): Bitcoin and
     /// GHOST blocks, or NG key blocks.
     kSelfish,
+    /// Lead-stubborn withholding (WithholdingStrategy::Mode::kLeadStubborn):
+    /// same hosts as kSelfish, but the attacker never takes SM1's safe
+    /// lead-1 cash-out and keeps racing instead.
+    kStubborn,
     /// NG only: the leader periodically signs conflicting microblocks
     /// (ng::MaliciousLeader), driving detection -> poison -> revocation.
     kEquivocate,

@@ -67,6 +67,27 @@ TEST(SelfishThreshold, NgKeyBlocksBelowAndAboveTheBound) {
   EXPECT_GT(mean_revenue(chain::Protocol::kBitcoinNG, 0.33), 0.33);
 }
 
+TEST(StubbornThreshold, LeadStubbornBelowAndAboveTheBound) {
+  // Lead-stubborn mining (WithholdingStrategy::Mode::kLeadStubborn) refuses
+  // SM1's safe lead-1 cash-out and keeps racing. The profitability threshold
+  // stays in the same regime: clearly unprofitable at alpha = 0.15, clearly
+  // profitable at alpha = 0.33 with gamma ~= 0.5.
+  auto mean_stubborn = [](double alpha) {
+    double sum = 0;
+    constexpr int kSeeds = 4;
+    for (int s = 0; s < kSeeds; ++s) {
+      auto cfg = selfish_config(chain::Protocol::kBitcoin, alpha, 2000 + s);
+      cfg.adversary.kind = sim::AdversarySpec::Kind::kStubborn;
+      sim::Experiment exp(cfg);
+      exp.run();
+      sum += metrics::attacker_report(exp, 0).revenue_share;
+    }
+    return sum / kSeeds;
+  };
+  EXPECT_LT(mean_stubborn(0.15), 0.15);
+  EXPECT_GT(mean_stubborn(0.33), 0.33);
+}
+
 TEST(SelfishThreshold, GammaZeroNeverPaysAtAlphaThird) {
   // With gamma = 0 (honest nodes never adopt the attacker's matching block)
   // the SM1 threshold rises to ~1/3: alpha = 0.30 must stay unprofitable.

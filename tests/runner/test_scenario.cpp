@@ -29,9 +29,32 @@ TEST(Registry, BuiltinsAreRegistered) {
   EXPECT_TRUE(has("selfish_threshold"));
   EXPECT_TRUE(has("partition_heal"));
   EXPECT_TRUE(has("eclipse"));
+  EXPECT_TRUE(has("eclipse_selfish"));
   EXPECT_TRUE(has("ng_poison"));
   EXPECT_TRUE(has("attack_smoke"));
   EXPECT_TRUE(has("smoke"));
+}
+
+TEST(Registry, MakeScenarioRecordsItsShippableSource) {
+  const auto s = make_scenario("smoke", kSmall);
+  ASSERT_TRUE(s.has_value());
+  ASSERT_TRUE(s->source.has_value());
+  EXPECT_EQ(s->source->kind, ScenarioSource::Kind::kBuiltin);
+  EXPECT_EQ(s->source->ref, "smoke");
+  EXPECT_EQ(s->source->knobs.nodes, kSmall.nodes);
+  EXPECT_EQ(s->source->knobs.blocks, kSmall.blocks);
+}
+
+TEST(Registry, EclipseSelfishComposesAdversaryAndFaults) {
+  const auto s = make_scenario("eclipse_selfish", kSmall);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->base.adversary.kind, sim::AdversarySpec::Kind::kSelfish);
+  const auto points = expand(*s);
+  ASSERT_EQ(points.size(), 3u);  // eclipse duration axis
+  EXPECT_TRUE(points[0].config.faults.empty());   // dark=0s baseline
+  EXPECT_FALSE(points[1].config.faults.empty());  // hubs eclipsed
+  EXPECT_EQ(points[1].config.faults.eclipses.size(), 3u);
+  EXPECT_EQ(points[1].config.adversary.kind, sim::AdversarySpec::Kind::kSelfish);
 }
 
 TEST(Registry, UnknownNameIsNullopt) {
@@ -91,6 +114,8 @@ TEST(Overrides, AppliesAdversaryKeys) {
   sim::ExperimentConfig cfg;
   apply_config_override(cfg, "adversary", "selfish");
   EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kSelfish);
+  apply_config_override(cfg, "adversary", "stubborn");
+  EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kStubborn);
   apply_config_override(cfg, "adversary", "equivocate");
   EXPECT_EQ(cfg.adversary.kind, sim::AdversarySpec::Kind::kEquivocate);
   apply_config_override(cfg, "adversary", "withhold-micro");

@@ -138,10 +138,10 @@ TEST(Emit, SeedsCsvUnionsPerPointMetricSets) {
   r.scenario = "union";
   PointResult a;
   a.labels = {"a"};
-  a.seeds.push_back(SeedResult{1, 0xabc, {{"m1", 1.5}}});
+  a.seeds.push_back(RunRecord{0, 0, 1, 0xabc, {{"m1", 1.5}}, std::nullopt});
   PointResult b;
   b.labels = {"b"};
-  b.seeds.push_back(SeedResult{2, 0xdef, {{"m1", 2.5}, {"m2", 3.5}}});
+  b.seeds.push_back(RunRecord{1, 0, 2, 0xdef, {{"m1", 2.5}, {"m2", 3.5}}, std::nullopt});
   r.points = {a, b};
 
   const std::string csv = seeds_csv(r);
