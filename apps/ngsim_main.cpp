@@ -10,6 +10,10 @@
 //   ngsim --list
 //   ngsim --scenario fig7 --seeds 4 --jobs 4 --out results/
 //   ngsim --scenario-file my_sweep.scn --seeds 8
+//   ngsim --serve 9700                      # worker half of a TCP fleet
+//   ngsim --scenario fig7 --hosts a:9700,b:9700 --journal fig7.journal
+//   ngsim --resume fig7.journal --hosts a:9700,b:9700
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,8 +25,10 @@
 
 #include "runner/emit.hpp"
 #include "runner/executor.hpp"
+#include "runner/journal.hpp"
 #include "runner/scenario.hpp"
 #include "runner/sweep.hpp"
+#include "runner/tcp_fleet.hpp"
 
 namespace {
 
@@ -32,6 +38,8 @@ constexpr const char* kUsage = R"(ngsim — parallel multi-seed sweep runner
 
 Usage: ngsim --scenario NAME [options]
        ngsim --scenario-file PATH [options]
+       ngsim --serve PORT
+       ngsim --resume JOURNAL [options]
        ngsim --list
 
 Options:
@@ -47,6 +55,20 @@ Options:
   --no-table            suppress the human-readable table
   --list                list registered scenarios and exit
   --help                this text
+
+Distributed mode (see bench/README.md):
+  --serve PORT          run as a TCP fleet worker on PORT (0 = kernel pick)
+  --hosts H:P,H:P,...   dispatch jobs to these --serve workers (overrides
+                        --jobs/--procs; output stays bit-identical)
+  --journal PATH        append completed records to a crash-safe journal
+  --resume PATH         continue the sweep journaled at PATH: scenario, scale
+                        and seeds are rebuilt from the journal, finished
+                        slots are kept, only the holes run
+  --heartbeat-ms N          worker heartbeat interval        (default 1000)
+  --heartbeat-timeout-ms N  silence before a worker is dead  (default 10000)
+  --job-deadline-ms N       per-job hung-worker deadline     (default 0 = off)
+  --straggler-after-ms N    speculative re-dispatch age      (default 0 = off)
+  --connect-timeout-ms N    per-host TCP connect timeout     (default 5000)
 
 Environment fallbacks: REPRO_NODES, REPRO_BLOCKS, REPRO_SEEDS, REPRO_JOBS,
 REPRO_PROCS.
@@ -103,6 +125,16 @@ std::string self_exe_path(const char* argv0) {
   return argv0;
 }
 
+/// Async-signal-safe: raise the cooperative flag; the dispatch loops notice,
+/// quiesce, flush the journal, and unwind with SweepInterrupted.
+void on_interrupt(int) {
+  bng::runner::sweep_interrupt_flag().store(true, std::memory_order_relaxed);
+}
+
+/// Exit code for an interrupted-but-resumable sweep (EX_TEMPFAIL: rerun
+/// with --resume and it completes).
+constexpr int kExitInterrupted = 75;
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,8 +143,20 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
     return bng::runner::worker_main(0, 1);
 
+  // TCP fleet worker mode: bind, announce the port, serve dispatchers until
+  // killed. Survives dispatcher crashes by design (--resume reconnects).
+  if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
+    std::uint32_t port = 0;
+    if (argc != 3 || !parse_u32_arg("--serve", argv[2], port, 0) || port > 65535) {
+      std::fprintf(stderr, "ngsim: --serve requires a port (0-65535)\n");
+      return 1;
+    }
+    return bng::runner::serve_main(static_cast<std::uint16_t>(port));
+  }
+
   std::string scenario_name;
   std::string scenario_file;
+  std::string resume_path;
   std::string out_dir = ".";
   bool print_table = true;
   runner::RunKnobs knobs{runner::env_u32("REPRO_NODES", 1000),
@@ -189,11 +233,120 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(arg, "--hosts") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --hosts requires host:port[,host:port...]\n");
+        return 1;
+      }
+      std::string list = next;
+      for (std::size_t pos = 0; pos <= list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > pos) options.hosts.push_back(list.substr(pos, end - pos));
+        pos = end + 1;
+      }
+      if (options.hosts.empty()) {
+        std::fprintf(stderr, "ngsim: --hosts got no endpoints\n");
+        return 1;
+      }
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--journal") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --journal requires a path\n");
+        return 1;
+      }
+      options.journal_path = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--resume") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --resume requires a journal path\n");
+        return 1;
+      }
+      resume_path = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--heartbeat-ms") == 0) {
+      if (!parse_u32_arg(arg, next, options.fleet.heartbeat_ms, 0)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--heartbeat-timeout-ms") == 0) {
+      if (!parse_u32_arg(arg, next, options.fleet.heartbeat_timeout_ms, 1)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--job-deadline-ms") == 0) {
+      if (!parse_u32_arg(arg, next, options.fleet.job_deadline_ms, 0)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--straggler-after-ms") == 0) {
+      if (!parse_u32_arg(arg, next, options.fleet.straggler_after_ms, 0)) return 1;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--connect-timeout-ms") == 0) {
+      if (!parse_u32_arg(arg, next, options.fleet.connect_timeout_ms, 1)) return 1;
+      ++i;
+      continue;
+    }
     std::fprintf(stderr, "ngsim: unknown option '%s'\n\n%s", arg, kUsage);
     return 1;
   }
 
-  if (scenario_name.empty() && scenario_file.empty()) {
+  // --resume rebuilds the whole sweep identity (scenario, scale, seeds) from
+  // the journal header; explicit flags may only confirm it, never change it
+  // — run_sweep separately re-verifies the full identity before appending.
+  std::string resume_inline_text;
+  if (!resume_path.empty()) {
+    if (!options.journal_path.empty() && options.journal_path != resume_path) {
+      std::fprintf(stderr, "ngsim: --journal conflicts with --resume\n");
+      return 1;
+    }
+    runner::JournalHeader header;
+    try {
+      header = runner::read_journal_header(resume_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ngsim: %s\n", e.what());
+      return 1;
+    }
+    const bool builtin = header.source_kind ==
+                         static_cast<std::uint8_t>(runner::ScenarioSource::Kind::kBuiltin);
+    if (builtin) {
+      if (!scenario_name.empty() && scenario_name != header.ref) {
+        std::fprintf(stderr,
+                     "ngsim: --resume journal is for scenario '%s', not '%s'\n",
+                     header.ref.c_str(), scenario_name.c_str());
+        return 1;
+      }
+      if (!scenario_file.empty()) {
+        std::fprintf(stderr,
+                     "ngsim: --resume journal records a registered scenario; drop "
+                     "--scenario-file\n");
+        return 1;
+      }
+      scenario_name = header.ref;
+    } else {
+      if (!scenario_name.empty() || !scenario_file.empty()) {
+        std::fprintf(stderr,
+                     "ngsim: --resume journal carries its own scenario text; drop "
+                     "--scenario/--scenario-file\n");
+        return 1;
+      }
+      resume_inline_text = header.ref;
+    }
+    knobs = header.knobs;
+    options.seeds = header.seeds;
+    options.journal_path = resume_path;
+    options.resume = true;
+  }
+
+  if (scenario_name.empty() && scenario_file.empty() && resume_inline_text.empty()) {
     std::fprintf(stderr, "ngsim: one of --scenario / --scenario-file is required\n\n%s",
                  kUsage);
     return 1;
@@ -201,7 +354,10 @@ int main(int argc, char** argv) {
 
   std::optional<runner::Scenario> scenario;
   try {
-    if (!scenario_file.empty()) {
+    if (!resume_inline_text.empty()) {
+      scenario = runner::load_scenario_string(resume_inline_text,
+                                              "<journal " + resume_path + ">", knobs);
+    } else if (!scenario_file.empty()) {
       scenario = runner::load_scenario_file(scenario_file, knobs);
       if (!scenario_name.empty() && scenario->name != scenario_name) {
         std::fprintf(stderr, "ngsim: scenario file defines '%s', not '%s'\n",
@@ -251,6 +407,15 @@ int main(int argc, char** argv) {
 
   if (options.procs > 0) options.worker_argv = {self_exe_path(argv[0]), "--worker"};
 
+  // A journaled sweep turns SIGINT/SIGTERM into a graceful stop: the
+  // executor quiesces, the journal flushes, and the exit code + hint say how
+  // to pick the sweep back up. Unjournaled sweeps keep the default
+  // die-immediately behavior — there is nothing to save.
+  if (!options.journal_path.empty()) {
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+  }
+
   try {
     const runner::SweepResult result = runner::run_sweep(*scenario, options);
     if (print_table) {
@@ -268,6 +433,16 @@ int main(int argc, char** argv) {
       return 1;
     std::printf("\nwrote %s, %s, %s\n", json_path.string().c_str(),
                 agg_path.string().c_str(), seeds_path.string().c_str());
+  } catch (const runner::SweepInterrupted&) {
+    if (!options.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "ngsim: sweep interrupted; completed records are safe in %s\n"
+                   "ngsim: resume with: ngsim --resume %s\n",
+                   options.journal_path.c_str(), options.journal_path.c_str());
+    } else {
+      std::fprintf(stderr, "ngsim: sweep interrupted\n");
+    }
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ngsim: sweep failed: %s\n", e.what());
     return 1;

@@ -9,6 +9,15 @@
 
 namespace bng::runner {
 
+std::atomic<bool>& sweep_interrupt_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void throw_if_interrupted() {
+  if (sweep_interrupt_flag().load(std::memory_order_relaxed)) throw SweepInterrupted();
+}
+
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
                   std::shared_ptr<const sim::PrebuiltWorkload> pool) {
@@ -48,13 +57,20 @@ class ThreadPoolExecutor final : public Executor {
   std::uint32_t run(const ExecutionPlan& plan, const RecordSink& sink) override {
     const std::size_t n_jobs =
         plan.points.size() * static_cast<std::size_t>(plan.seeds);
+    // Resume support: only jobs without a recovered record run.
+    std::vector<std::size_t> pending;
+    pending.reserve(n_jobs);
+    for (std::size_t job = 0; job < n_jobs; ++job)
+      if (!plan_job_done(plan, job)) pending.push_back(job);
+
     std::uint32_t workers = jobs_;
     if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
     workers = static_cast<std::uint32_t>(
-        std::min<std::size_t>(workers, std::max<std::size_t>(n_jobs, 1)));
+        std::min<std::size_t>(workers, std::max<std::size_t>(pending.size(), 1)));
 
     std::vector<PointState> states(plan.points.size());
-    for (auto& st : states) st.remaining.store(plan.seeds, std::memory_order_relaxed);
+    for (const std::size_t job : pending)
+      states[job / plan.seeds].remaining.fetch_add(1, std::memory_order_relaxed);
 
     std::atomic<std::size_t> next_job{0};
     std::exception_ptr first_error;
@@ -81,15 +97,16 @@ class ThreadPoolExecutor final : public Executor {
 
     auto worker_loop = [&] {
       for (;;) {
-        const std::size_t job = next_job.fetch_add(1, std::memory_order_relaxed);
-        if (job >= n_jobs) return;
+        const std::size_t slot = next_job.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= pending.size()) return;
         try {
-          run_one(job);
+          throw_if_interrupted();
+          run_one(pending[slot]);
         } catch (...) {
           std::lock_guard lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           // Drain the queue: later jobs are skipped once a job has failed.
-          next_job.store(n_jobs, std::memory_order_relaxed);
+          next_job.store(pending.size(), std::memory_order_relaxed);
           return;
         }
       }

@@ -16,9 +16,11 @@
 // "ProcessPoolExecutor over a socket" and slots in the same way.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,7 +37,31 @@ struct ExecutionPlan {
   const std::vector<SweepPoint>& points;
   std::uint32_t seeds = 1;
   bool share_workload = true;
+  /// Jobs already completed in an earlier (crashed, resumed) run, indexed by
+  /// point * seeds + ordinal — recovered from a journal. Null or empty:
+  /// nothing done. Executors skip these without running or delivering them.
+  const std::vector<std::uint8_t>* done = nullptr;
 };
+
+/// Whether the plan says this job already has its record (resume).
+inline bool plan_job_done(const ExecutionPlan& plan, std::size_t job) {
+  return plan.done != nullptr && job < plan.done->size() && (*plan.done)[job] != 0;
+}
+
+/// Cooperative cancellation for a sweep in flight. A signal handler (ngsim's
+/// SIGINT/SIGTERM) or a test sets the flag; every executor polls it between
+/// dispatches and aborts by throwing SweepInterrupted after quiescing its
+/// workers — so RAII up the stack (the resume journal above all) flushes
+/// cleanly instead of the process dying with completed records in memory.
+std::atomic<bool>& sweep_interrupt_flag();
+
+struct SweepInterrupted : std::runtime_error {
+  SweepInterrupted() : std::runtime_error("sweep interrupted") {}
+};
+
+/// Throw SweepInterrupted if the flag is set (executor dispatch loops call
+/// this once per iteration).
+void throw_if_interrupted();
 
 /// Receives each finished record exactly once, possibly from worker threads
 /// (never concurrently for the same job; jobs write disjoint slots).
@@ -80,5 +106,9 @@ RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
 /// the given fds (stdin/stdout when exec'd) until EOF. Returns the process
 /// exit code. Never throws; fatal errors are reported as 'E' frames.
 int worker_main(int in_fd, int out_fd);
+
+// A third executor — the TCP fleet dispatcher behind `ngsim --hosts` — lives
+// in runner/tcp_fleet.hpp; it implements this same interface over remote
+// `ngsim --serve` workers with heartbeat liveness and per-job deadlines.
 
 }  // namespace bng::runner

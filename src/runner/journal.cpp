@@ -1,0 +1,230 @@
+#include "runner/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/io_util.hpp"
+#include "runner/record_codec.hpp"
+
+namespace bng::runner {
+
+namespace {
+
+constexpr char kJournalMagic[4] = {'B', 'N', 'G', 'J'};
+
+std::string header_payload(const JournalHeader& h) {
+  std::string p;
+  p.push_back(static_cast<char>(FrameKind::kHandshake));
+  p.append(kJournalMagic, sizeof kJournalMagic);
+  wire::put_u16(p, kJournalVersion);
+  wire::put_u16(p, kRecordCodecVersion);
+  p.push_back(static_cast<char>(h.source_kind));
+  wire::put_u32(p, static_cast<std::uint32_t>(h.ref.size()));
+  p += h.ref;
+  wire::put_u32(p, h.knobs.nodes);
+  wire::put_u32(p, h.knobs.blocks);
+  wire::put_u32(p, h.seeds);
+  wire::put_u32(p, h.n_points);
+  wire::put_u64(p, h.seed_base);
+  return p;
+}
+
+JournalHeader parse_header_payload(std::string_view payload) {
+  wire::Reader in{payload, 1};  // past the 'H' kind byte
+  const std::string magic = in.str(sizeof kJournalMagic);
+  if (std::memcmp(magic.data(), kJournalMagic, sizeof kJournalMagic) != 0)
+    throw std::runtime_error("journal: bad magic (not a sweep journal)");
+  const std::uint16_t version = in.u16();
+  if (version != kJournalVersion)
+    throw std::runtime_error("journal: version " + std::to_string(version) +
+                             " unsupported (this build speaks " +
+                             std::to_string(kJournalVersion) + ")");
+  const std::uint16_t codec = in.u16();
+  if (codec != kRecordCodecVersion)
+    throw std::runtime_error("journal: record codec version " + std::to_string(codec) +
+                             " unsupported (this build speaks " +
+                             std::to_string(kRecordCodecVersion) + ")");
+  JournalHeader h;
+  h.source_kind = in.u8();
+  const std::uint32_t ref_len = in.u32();
+  h.ref = in.str(ref_len);
+  h.knobs.nodes = in.u32();
+  h.knobs.blocks = in.u32();
+  h.seeds = in.u32();
+  h.n_points = in.u32();
+  h.seed_base = in.u64();
+  if (in.pos != payload.size())
+    throw std::runtime_error("journal: trailing bytes after header");
+  return h;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("journal: cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("journal: read failed for " + path);
+  return std::move(out).str();
+}
+
+}  // namespace
+
+JournalHeader make_journal_header(const Scenario& scenario, std::uint32_t seeds,
+                                  std::size_t n_points) {
+  if (!scenario.source)
+    throw std::invalid_argument(
+        "journaling needs a shippable scenario (a registered name or a scenario "
+        "file) so --resume can rebuild it; this scenario was built "
+        "programmatically");
+  JournalHeader h;
+  h.source_kind = static_cast<std::uint8_t>(scenario.source->kind);
+  h.ref = scenario.source->ref;
+  h.knobs = scenario.source->knobs;
+  h.seeds = seeds;
+  h.n_points = static_cast<std::uint32_t>(n_points);
+  h.seed_base = scenario.seed_base;
+  return h;
+}
+
+std::string journal_mismatch(const JournalHeader& on_disk,
+                             const JournalHeader& expected) {
+  auto diff_u64 = [](const char* what, std::uint64_t disk, std::uint64_t want) {
+    return std::string(what) + " differs (journal: " + std::to_string(disk) +
+           ", sweep: " + std::to_string(want) + ")";
+  };
+  if (on_disk.source_kind != expected.source_kind)
+    return "scenario source kind differs (registered name vs inline text)";
+  if (on_disk.ref != expected.ref) {
+    if (on_disk.source_kind == 0)
+      return "scenario differs (journal: '" + on_disk.ref + "', sweep: '" +
+             expected.ref + "')";
+    return "scenario file text differs";
+  }
+  if (on_disk.knobs.nodes != expected.knobs.nodes)
+    return diff_u64("nodes", on_disk.knobs.nodes, expected.knobs.nodes);
+  if (on_disk.knobs.blocks != expected.knobs.blocks)
+    return diff_u64("blocks", on_disk.knobs.blocks, expected.knobs.blocks);
+  if (on_disk.seeds != expected.seeds)
+    return diff_u64("seeds", on_disk.seeds, expected.seeds);
+  if (on_disk.n_points != expected.n_points)
+    return diff_u64("sweep grid size", on_disk.n_points, expected.n_points);
+  if (on_disk.seed_base != expected.seed_base)
+    return diff_u64("seed base", on_disk.seed_base, expected.seed_base);
+  return {};
+}
+
+JournalContents read_journal(const std::string& path) {
+  std::string bytes = read_file(path);
+
+  JournalContents out;
+  std::string payload;
+  bool have_header = false;
+  std::uint64_t consumed = 0;
+  // take_frame erases consumed bytes from the front; track the offset of the
+  // last *whole, decodable* frame so resume can truncate a torn tail.
+  bool dropped_frame = false;
+  for (;;) {
+    const std::size_t before = bytes.size();
+    try {
+      if (!take_frame(bytes, payload)) break;  // partial trailing frame
+    } catch (const CodecError&) {
+      break;  // corrupt length prefix in the tail
+    }
+    const std::uint64_t frame_end = consumed + (before - bytes.size());
+    if (payload.empty()) {
+      dropped_frame = true;  // a whole frame with no kind byte: corrupt
+      break;
+    }
+    if (!have_header) {
+      // The header frame is load-bearing: without it the journal cannot be
+      // attributed to a sweep, so header problems are fatal, not torn-tail.
+      if (static_cast<FrameKind>(payload[0]) != FrameKind::kHandshake)
+        throw std::runtime_error("journal: first frame is not a header");
+      out.header = parse_header_payload(payload);
+      have_header = true;
+    } else {
+      if (static_cast<FrameKind>(payload[0]) != FrameKind::kRecord) {
+        dropped_frame = true;  // foreign frame kind in the tail: a tear
+        break;
+      }
+      try {
+        out.records.push_back(decode_record(std::string_view(payload).substr(1)));
+      } catch (const CodecError&) {
+        dropped_frame = true;  // truncated/corrupt record frame
+        break;
+      }
+    }
+    consumed = frame_end;
+    out.valid_bytes = frame_end;
+  }
+  if (!have_header)
+    throw std::runtime_error("journal: " + path + " has no readable header");
+  out.torn_tail = dropped_frame || !bytes.empty();
+  return out;
+}
+
+JournalHeader read_journal_header(const std::string& path) {
+  // Cheap variant: only the first frame is needed, but journals are small
+  // relative to the sweeps they describe — reuse the full reader.
+  return read_journal(path).header;
+}
+
+JournalWriter::JournalWriter(const std::string& path, const JournalHeader& header)
+    : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("journal: cannot create " + path + ": " +
+                             std::strerror(errno));
+  buf_ = frame(header_payload(header));
+  flush();  // the header hits disk before any record can follow it
+}
+
+JournalWriter::JournalWriter(const std::string& path, std::uint64_t valid_bytes)
+    : path_(path) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0)
+    throw std::runtime_error("journal: cannot truncate torn tail of " + path + ": " +
+                             std::strerror(errno));
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0)
+    throw std::runtime_error("journal: cannot append to " + path + ": " +
+                             std::strerror(errno));
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor flush is best-effort (e.g. during stack unwind on ENOSPC);
+    // the torn-tail reader handles whatever made it to disk.
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const RunRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(FrameKind::kRecord));
+  payload += encode_record(record);
+  buf_ += frame(payload);
+  if (++buffered_records_ >= kFsyncBatch) flush();
+}
+
+void JournalWriter::flush() {
+  if (buf_.empty()) return;
+  if (!io::write_all(fd_, buf_))
+    throw std::runtime_error("journal: write to " + path_ + " failed: " +
+                             std::strerror(errno));
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("journal: fsync of " + path_ + " failed: " +
+                             std::strerror(errno));
+  buf_.clear();
+  buffered_records_ = 0;
+}
+
+}  // namespace bng::runner

@@ -1,0 +1,110 @@
+// Crash-safe on-disk journal of a sweep's completed RunRecords.
+//
+// A journaled sweep appends every finished record as a length-prefixed
+// binary frame (the same framing + codec the worker protocol speaks), so a
+// dispatcher crash — SIGKILL included — loses at most the unflushed tail of
+// a batch, never a fsync'd record. `ngsim --resume <journal>` then rebuilds
+// the scenario from the stored source, verifies the grid identity, prefills
+// the completed slots, and re-dispatches only the holes: because every
+// record is a pure function of (scenario, point, ordinal), the resumed
+// sweep's final artifacts are byte-identical to an uninterrupted run.
+//
+// File layout (all frames are record_codec.hpp `frame()` framing):
+//
+//   frame( 'H' "BNGJ" u16 journal-version u16 codec-version
+//          u8 source-kind u32+bytes scenario ref u32 nodes u32 blocks
+//          u32 seeds u32 n_points u64 seed_base )
+//   frame( 'R' encode_record() bytes )   ... one per completed job
+//
+// Torn-tail recovery: a crash mid-append leaves a final partial frame (or a
+// record the bounds-checked codec rejects). read_journal() keeps every whole
+// frame before the tear, reports the offset of the last good byte, and the
+// resume path truncates the file there before appending — the journal is
+// always a clean prefix plus new whole frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/record.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::runner {
+
+/// Bump when the journal header layout changes; readers reject foreign
+/// versions (the record frames are separately versioned by the codec).
+inline constexpr std::uint16_t kJournalVersion = 1;
+
+/// Identity of the sweep a journal belongs to. Resume refuses a journal
+/// whose identity does not match the scenario it would continue — replaying
+/// records into the wrong grid would silently corrupt the output.
+struct JournalHeader {
+  std::uint8_t source_kind = 0;  ///< ScenarioSource::Kind
+  std::string ref;               ///< registered name | scenario-file text
+  RunKnobs knobs;
+  std::uint32_t seeds = 1;
+  std::uint32_t n_points = 0;
+  std::uint64_t seed_base = 0;
+};
+
+/// Derive the header a journal for this sweep must carry. Throws
+/// std::invalid_argument if the scenario has no shippable source (a
+/// programmatic scenario cannot be rebuilt by --resume).
+JournalHeader make_journal_header(const Scenario& scenario, std::uint32_t seeds,
+                                  std::size_t n_points);
+
+/// Human-readable reason `on_disk` cannot resume a sweep expecting
+/// `expected`; empty string when they match.
+std::string journal_mismatch(const JournalHeader& on_disk,
+                             const JournalHeader& expected);
+
+struct JournalContents {
+  JournalHeader header;
+  std::vector<RunRecord> records;  ///< append order; torn tail dropped
+  std::uint64_t valid_bytes = 0;   ///< end offset of the last whole frame
+  bool torn_tail = false;          ///< trailing partial/corrupt bytes were dropped
+};
+
+/// Read and validate a journal. Throws std::runtime_error on a missing file
+/// or a corrupt/foreign header; a torn record tail is tolerated and
+/// reported, never fatal.
+JournalContents read_journal(const std::string& path);
+
+/// Read just the header (for `ngsim --resume` to rebuild the scenario
+/// before the sweep machinery spins up).
+JournalHeader read_journal_header(const std::string& path);
+
+/// Appends finished records with fsync batching: frames are buffered and
+/// written + fsync'd every kFsyncBatch records, on flush(), and at
+/// destruction — bounding both the syscall cost per record and the worst
+/// case loss window of a hard crash.
+class JournalWriter {
+ public:
+  /// Start a fresh journal: truncate `path` and write the header (fsync'd
+  /// before any record can follow it).
+  JournalWriter(const std::string& path, const JournalHeader& header);
+
+  /// Continue an existing journal: truncate a torn tail at `valid_bytes`
+  /// (as reported by read_journal) and append after it.
+  JournalWriter(const std::string& path, std::uint64_t valid_bytes);
+
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append(const RunRecord& record);
+
+  /// Write out and fsync everything buffered. Throws on I/O failure.
+  void flush();
+
+  static constexpr std::uint32_t kFsyncBatch = 8;
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::string buf_;
+  std::uint32_t buffered_records_ = 0;
+};
+
+}  // namespace bng::runner

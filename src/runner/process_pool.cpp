@@ -1,26 +1,15 @@
 // ProcessPoolExecutor + worker_main: sweep jobs fanned across forked (or
 // fork/exec'd `ngsim --worker`) child processes.
 //
-// Protocol (runner/record_codec.hpp framing, one socketpair per worker):
-//
-//   parent -> worker   'H' u16 codec-version, u8 source-kind, u32+bytes
-//                          scenario ref (registered name | scenario text),
-//                          u32 nodes, u32 blocks, u8 share_workload,
-//                          u32 kill-after (test hook; 0xffffffff = off)
-//   parent -> worker   'J' u32 point, u32 ordinal        (one in flight)
-//   worker -> parent   'R' encode_record() bytes
-//   worker -> parent   'E' utf-8 error message (fatal; parent rethrows)
-//
-// The worker rebuilds the scenario from its shippable source (the registry
-// for builtins, the key=value grammar for inline text), re-expands the sweep
-// grid, and funnels jobs through the same run_job() as the thread executor —
-// so a record computed in a child is bit-identical to one computed in
-// process. Workers that die (crash, SIGKILL) are detected by socket EOF;
-// their in-flight job is re-dispatched (bounded per job, so a job that
-// *causes* crashes fails the sweep instead of looping) and a replacement
-// worker is spawned while work remains. Records carry their own identity and
-// the caller slots them deterministically, so crashes and re-dispatch never
-// change the output bytes.
+// The wire protocol (H/J/R/E frames over one socketpair per worker) is the
+// shared runner/worker_protocol.hpp — the same frames the TCP fleet
+// (tcp_fleet.cpp) speaks over sockets. Workers that die (crash, SIGKILL) are
+// detected by socket EOF; their in-flight job is re-dispatched (bounded per
+// job, so a job that *causes* crashes fails the sweep with its identity
+// instead of looping) and a replacement worker is spawned while work
+// remains. Records carry their own identity and the caller slots them
+// deterministically, so crashes and re-dispatch never change the output
+// bytes.
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
@@ -35,34 +24,17 @@
 #include <stdexcept>
 
 #include "runner/executor.hpp"
+#include "runner/io_util.hpp"
 #include "runner/record_codec.hpp"
-#include "sim/experiment.hpp"
+#include "runner/worker_protocol.hpp"
 
 namespace bng::runner {
 
 namespace {
 
-constexpr std::uint32_t kKillDisabled = 0xffffffffu;
-
-using wire::put_u16;
-using wire::put_u32;
-
-/// write()/send() the whole buffer; false on EPIPE/any error. MSG_NOSIGNAL
-/// keeps a dead peer from raising SIGPIPE in the parent.
-bool send_all(int fd, std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
+bool send_frame(int fd, std::string_view payload) {
+  return io::send_all(fd, frame(payload));
 }
-
-bool send_frame(int fd, std::string_view payload) { return send_all(fd, frame(payload)); }
 
 struct Job {
   std::uint32_t point = 0;
@@ -78,29 +50,6 @@ struct Worker {
   bool alive = false;
 };
 
-std::string handshake_payload(const ScenarioSource& source, bool share_workload,
-                              std::uint32_t kill_after) {
-  std::string p;
-  p.push_back(static_cast<char>(FrameKind::kHandshake));
-  put_u16(p, kRecordCodecVersion);
-  p.push_back(source.kind == ScenarioSource::Kind::kBuiltin ? 0 : 1);
-  put_u32(p, static_cast<std::uint32_t>(source.ref.size()));
-  p += source.ref;
-  put_u32(p, source.knobs.nodes);
-  put_u32(p, source.knobs.blocks);
-  p.push_back(share_workload ? 1 : 0);
-  put_u32(p, kill_after);
-  return p;
-}
-
-std::string job_payload(const Job& job) {
-  std::string p;
-  p.push_back(static_cast<char>(FrameKind::kJob));
-  put_u32(p, job.point);
-  put_u32(p, job.ordinal);
-  return p;
-}
-
 class ProcessPoolExecutor final : public Executor {
  public:
   explicit ProcessPoolExecutor(ProcessPoolOptions options) : opt_(std::move(options)) {}
@@ -113,24 +62,28 @@ class ProcessPoolExecutor final : public Executor {
           "process-pool execution needs a shippable scenario (a registered name or a "
           "scenario file); this scenario was built programmatically");
     const ScenarioSource& source = *plan.scenario.source;
+    seed_base_ = plan.scenario.seed_base;
 
-    const std::size_t n_jobs =
-        plan.points.size() * static_cast<std::size_t>(plan.seeds);
+    for (std::uint32_t p = 0; p < plan.points.size(); ++p)
+      for (std::uint32_t s = 0; s < plan.seeds; ++s) {
+        const std::size_t job = static_cast<std::size_t>(p) * plan.seeds + s;
+        if (!plan_job_done(plan, job)) queue_.push_back(Job{p, s, 0});
+      }
+    const std::size_t n_jobs = queue_.size();
     const auto width = static_cast<std::uint32_t>(std::min<std::size_t>(
         std::max(opt_.procs, 1u), std::max<std::size_t>(n_jobs, 1)));
 
-    for (std::uint32_t p = 0; p < plan.points.size(); ++p)
-      for (std::uint32_t s = 0; s < plan.seeds; ++s) queue_.push_back(Job{p, s, 0});
-
     try {
-      for (std::uint32_t w = 0; w < width; ++w)
-        spawn(source, plan.share_workload,
-              w == 0 && opt_.kill_worker0_after_jobs >= 0
-                  ? static_cast<std::uint32_t>(opt_.kill_worker0_after_jobs)
-                  : kKillDisabled);
+      for (std::uint32_t w = 0; w < width; ++w) {
+        WorkerHooks hooks;
+        if (w == 0 && opt_.kill_worker0_after_jobs >= 0)
+          hooks.kill_after = static_cast<std::uint32_t>(opt_.kill_worker0_after_jobs);
+        spawn(source, plan.share_workload, hooks);
+      }
 
       std::size_t completed = 0;
       while (completed < n_jobs) {
+        throw_if_interrupted();
         // Replace and dispatch until stable: dispatch_ready can itself
         // detect deaths (EPIPE on assignment), which the next reap_dead
         // replaces — the loop converges because every pass either spawns
@@ -159,7 +112,7 @@ class ProcessPoolExecutor final : public Executor {
   }
 
  private:
-  void spawn(const ScenarioSource& source, bool share_workload, std::uint32_t kill_after) {
+  void spawn(const ScenarioSource& source, bool share_workload, WorkerHooks hooks) {
     int sv[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) != 0)
       throw std::runtime_error(std::string("process pool: socketpair: ") +
@@ -197,7 +150,11 @@ class ProcessPoolExecutor final : public Executor {
     w.pid = pid;
     w.fd = sv[0];
     w.alive = true;
-    if (!send_frame(w.fd, handshake_payload(source, share_workload, kill_after))) {
+    // Socketpair workers never heartbeat: the kernel turns a child's death
+    // into EOF on the pair, which is all the liveness signal this transport
+    // needs (unlike TCP, where a peer can vanish silently).
+    if (!send_frame(w.fd, handshake_payload(source, share_workload, hooks,
+                                            /*heartbeat_ms=*/0))) {
       ::close(w.fd);
       w.fd = -1;
       w.alive = false;
@@ -221,7 +178,7 @@ class ProcessPoolExecutor final : public Executor {
       if (!w.alive || w.inflight) continue;
       Job job = queue_.front();
       queue_.pop_front();
-      if (!send_frame(w.fd, job_payload(job))) {
+      if (!send_frame(w.fd, job_payload(job.point, job.ordinal))) {
         queue_.push_front(job);
         mark_dead(w);
         continue;
@@ -248,15 +205,15 @@ class ProcessPoolExecutor final : public Executor {
     for (std::size_t k = 0; k < fds.size(); ++k) {
       if (fds[k].revents == 0) continue;
       Worker& w = workers_[index[k]];
-      char chunk[16384];
-      const ssize_t n = ::recv(w.fd, chunk, sizeof chunk, 0);
-      if (n <= 0) {
-        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-        mark_dead(w);  // crash or clean exit with a job pending -> re-dispatch
-        continue;
+      switch (io::recv_some(w.fd, w.buf)) {
+        case io::ReadResult::kData:
+          drain_frames(w, plan, sink, completed);
+          break;
+        case io::ReadResult::kEof:
+        case io::ReadResult::kError:
+          mark_dead(w);  // crash or clean exit with a job pending -> re-dispatch
+          break;
       }
-      w.buf.append(chunk, static_cast<std::size_t>(n));
-      drain_frames(w, plan, sink, completed);
     }
   }
 
@@ -299,10 +256,13 @@ class ProcessPoolExecutor final : public Executor {
     if (w.inflight) {
       Job job = *w.inflight;
       w.inflight.reset();
-      if (++job.attempts >= 3)
+      if (++job.attempts >= kMaxJobAttempts)
         throw std::runtime_error(
-            "process pool: job (point " + std::to_string(job.point) + ", seed ordinal " +
-            std::to_string(job.ordinal) + ") crashed its worker repeatedly");
+            "process pool: job (point " + std::to_string(job.point) +
+            ", seed ordinal " + std::to_string(job.ordinal) + ", seed " +
+            std::to_string(job_seed(seed_base_, job.point, job.ordinal)) +
+            ") crashed its worker " + std::to_string(job.attempts) +
+            " times; giving up on the sweep");
       // Front of the queue: the re-run starts before new work, bounding how
       // long a crash can delay the merge.
       queue_.push_front(job);
@@ -310,21 +270,21 @@ class ProcessPoolExecutor final : public Executor {
     ++respawn_deficit_;
   }
 
-  /// Spawn replacements (without the kill-order test hook) while assignable
-  /// work remains — one per dead worker, not one per death batch.
+  /// Spawn replacements (without the fault-hook test orders) while
+  /// assignable work remains — one per dead worker, not one per death batch.
   void reap_dead(const ExecutionPlan& plan) {
     while (respawn_deficit_ > 0 && !queue_.empty()) {
       --respawn_deficit_;
       if (spawned_ > workers_capacity_limit())
         throw std::runtime_error("process pool: too many worker crashes");
-      spawn(*plan.scenario.source, plan.share_workload, kKillDisabled);
+      spawn(*plan.scenario.source, plan.share_workload, WorkerHooks{});
     }
     if (queue_.empty()) respawn_deficit_ = 0;  // tail jobs are all in flight
   }
 
   std::size_t workers_capacity_limit() const {
-    // 3 attempts per job bounds total crashes; this is a belt-and-braces cap.
-    return 3 * (queue_.size() + workers_.size()) + 16;
+    // kMaxJobAttempts per job bounds total crashes; belt-and-braces cap.
+    return kMaxJobAttempts * (queue_.size() + workers_.size()) + 16;
   }
 
   void shutdown_gracefully() {
@@ -352,94 +312,20 @@ class ProcessPoolExecutor final : public Executor {
     }
   }
 
+  static constexpr std::uint32_t kMaxJobAttempts = 3;
+
   ProcessPoolOptions opt_;
   std::vector<Worker> workers_;
   std::deque<Job> queue_;
+  std::uint64_t seed_base_ = 0;
   std::size_t spawned_ = 0;
   std::size_t respawn_deficit_ = 0;  ///< dead workers not yet replaced
 };
 
 // --- Worker side -------------------------------------------------------------
 
-bool read_more(int fd, std::string& buf) {
-  char chunk[16384];
-  for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (n == 0) return false;  // EOF: parent is done with us
-    buf.append(chunk, static_cast<std::size_t>(n));
-    return true;
-  }
-}
-
 void send_error(int fd, const std::string& message) {
-  std::string p;
-  p.push_back(static_cast<char>(FrameKind::kError));
-  p += message;
-  send_frame(fd, p);
-}
-
-struct WorkerState {
-  std::optional<Scenario> scenario;
-  std::vector<SweepPoint> points;
-  bool share_workload = true;
-  std::uint32_t kill_after = kKillDisabled;
-  std::uint32_t jobs_done = 0;
-  // One pool is cached at a time: the dispatcher hands a worker consecutive
-  // seeds of the same point when it can, and the pool is a seed-independent
-  // pure function of the point, so rebuilt pools stay bit-identical anyway.
-  std::uint32_t pool_point = 0;
-  std::shared_ptr<const sim::PrebuiltWorkload> pool;
-};
-
-void worker_handshake(WorkerState& st, wire::Reader& in) {
-  const std::uint16_t version = in.u16();
-  if (version != kRecordCodecVersion)
-    throw CodecError("worker speaks codec version " +
-                     std::to_string(kRecordCodecVersion) + ", parent sent " +
-                     std::to_string(version));
-  const std::uint8_t kind = in.u8();
-  const std::uint32_t ref_len = in.u32();
-  const std::string ref = in.str(ref_len);
-  RunKnobs knobs;
-  knobs.nodes = in.u32();
-  knobs.blocks = in.u32();
-  st.share_workload = in.u8() != 0;
-  st.kill_after = in.u32();
-  if (kind == 0) {
-    st.scenario = make_scenario(ref, knobs);
-    if (!st.scenario)
-      throw std::runtime_error("worker: unknown scenario '" + ref + "'");
-  } else {
-    st.scenario = load_scenario_string(ref, "<inline>", knobs);
-  }
-  st.points = expand(*st.scenario);
-}
-
-bool worker_job(WorkerState& st, wire::Reader& in, int out_fd) {
-  if (!st.scenario) throw std::runtime_error("worker: job before handshake");
-  const std::uint32_t point = in.u32();
-  const std::uint32_t ordinal = in.u32();
-  if (point >= st.points.size())
-    throw std::runtime_error("worker: job point out of range");
-  if (st.kill_after != kKillDisabled && st.jobs_done >= st.kill_after)
-    ::raise(SIGKILL);  // test hook: die mid-sweep, record unsent
-  if (st.share_workload && (!st.pool || st.pool_point != point)) {
-    // Seed-independent pure function of the point config (see the thread
-    // executor): rebuilt pools are bit-identical across workers.
-    st.pool = sim::build_shared_workload(st.points[point].config);
-    st.pool_point = point;
-  }
-  RunRecord rec = run_job(*st.scenario, st.points[point], point, ordinal,
-                          st.share_workload ? st.pool : nullptr);
-  ++st.jobs_done;
-  std::string payload;
-  payload.push_back(static_cast<char>(FrameKind::kRecord));
-  payload += encode_record(rec);
-  return send_frame(out_fd, payload);
+  send_frame(fd, error_payload(message));
 }
 
 }  // namespace
@@ -448,6 +334,9 @@ int worker_main(int in_fd, int out_fd) {
   WorkerState st;
   std::string buf;
   std::string payload;
+  const SendPayload send = [out_fd](std::string_view p) {
+    return send_frame(out_fd, p);
+  };
   try {
     for (;;) {
       while (take_frame(buf, payload)) {
@@ -458,13 +347,14 @@ int worker_main(int in_fd, int out_fd) {
             worker_handshake(st, in);
             break;
           case FrameKind::kJob:
-            if (!worker_job(st, in, out_fd)) return 1;  // parent went away
+            if (!worker_job(st, in, send)) return 1;  // parent went away
             break;
           default:
             throw CodecError("worker: unexpected frame kind");
         }
       }
-      if (!read_more(in_fd, buf)) return 0;
+      if (io::read_some(in_fd, buf) != io::ReadResult::kData)
+        return 0;  // EOF: parent is done with us
     }
   } catch (const std::exception& e) {
     send_error(out_fd, e.what());

@@ -85,10 +85,11 @@ struct Reader {
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;  ///< sanity bound
 
 enum class FrameKind : char {
-  kHandshake = 'H',  ///< parent -> worker: scenario source + run options
-  kJob = 'J',        ///< parent -> worker: one (point, ordinal) assignment
-  kRecord = 'R',     ///< worker -> parent: encode_record bytes
-  kError = 'E',      ///< worker -> parent: fatal job/setup error message
+  kHandshake = 'H',  ///< dispatcher -> worker: scenario source + run options
+  kJob = 'J',        ///< dispatcher -> worker: one (point, ordinal) assignment
+  kRecord = 'R',     ///< worker -> dispatcher: encode_record bytes
+  kError = 'E',      ///< worker -> dispatcher: fatal job/setup error message
+  kHeartbeat = 'B',  ///< worker -> dispatcher: periodic liveness beacon (TCP fleet)
 };
 
 /// Frame the payload (prepend the u32 length).

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 
 #include "runner/executor.hpp"
+#include "runner/journal.hpp"
+#include "runner/tcp_fleet.hpp"
 
 namespace bng::runner {
 
@@ -13,6 +16,7 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
 
   const std::vector<SweepPoint> points = expand(scenario);
   const std::uint32_t seeds = std::max<std::uint32_t>(options.seeds, 1);
+  const std::size_t n_jobs = points.size() * static_cast<std::size_t>(seeds);
 
   SweepResult result;
   result.scenario = scenario.name;
@@ -26,36 +30,98 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
     result.points[p].seeds.resize(seeds);
   }
 
+  // Journal / resume: prefill slots from the on-disk records and hand the
+  // executors a done-mask so only the holes run. Records are pure functions
+  // of (scenario, point, ordinal), so prefilled and freshly-computed slots
+  // are indistinguishable in the final artifacts.
+  std::unique_ptr<JournalWriter> journal;
+  std::vector<std::uint8_t> done;
+  std::size_t prefilled = 0;
+  if (!options.journal_path.empty()) {
+    const JournalHeader expected = make_journal_header(scenario, seeds, points.size());
+    if (options.resume) {
+      JournalContents contents = read_journal(options.journal_path);
+      if (const std::string why = journal_mismatch(contents.header, expected);
+          !why.empty())
+        throw std::runtime_error("--resume: journal " + options.journal_path +
+                                 " does not belong to this sweep: " + why);
+      done.assign(n_jobs, 0);
+      for (RunRecord& rec : contents.records) {
+        if (rec.point >= points.size() || rec.ordinal >= seeds)
+          throw std::runtime_error("--resume: journal record identity out of range");
+        const std::size_t job =
+            static_cast<std::size_t>(rec.point) * seeds + rec.ordinal;
+        if (done[job]) continue;  // a crashed run can journal a slot twice
+        done[job] = 1;
+        ++prefilled;
+        result.points[rec.point].seeds[rec.ordinal] = std::move(rec);
+      }
+      // Truncate the torn tail (if any) and append after the last whole frame.
+      journal = std::make_unique<JournalWriter>(options.journal_path,
+                                                contents.valid_bytes);
+    } else {
+      journal = std::make_unique<JournalWriter>(options.journal_path, expected);
+    }
+  }
+
   // Records stream in carrying their own identity and land in their slot:
   // the merge order is a function of (point, ordinal) alone, never of
-  // executor scheduling — that is what makes --procs N bit-identical to
-  // --jobs N for every N.
+  // executor scheduling — that is what makes --procs N and --hosts a,b
+  // bit-identical to --jobs 1. The journal sees each record exactly once,
+  // before the in-memory slot, so a crash never loses an acknowledged slot.
   std::atomic<std::size_t> delivered{0};
+  std::mutex journal_mu;
   auto sink = [&](RunRecord rec) {
     if (rec.point >= result.points.size() || rec.ordinal >= seeds)
       throw std::runtime_error("run_sweep: record identity out of range");
+    if (journal) {
+      std::lock_guard lock(journal_mu);
+      journal->append(rec);
+    }
     result.points[rec.point].seeds[rec.ordinal] = std::move(rec);
     delivered.fetch_add(1, std::memory_order_relaxed);
   };
 
-  const ExecutionPlan plan{scenario, points, seeds, options.share_workload};
-  std::unique_ptr<Executor> executor;
-  if (options.procs > 0) {
-    ProcessPoolOptions popt;
-    popt.procs = options.procs;
-    popt.worker_argv = options.worker_argv;
-    popt.kill_worker0_after_jobs = options.test_kill_worker0_after_jobs;
-    executor = make_process_pool_executor(std::move(popt));
+  const ExecutionPlan plan{scenario, points, seeds, options.share_workload,
+                           done.empty() ? nullptr : &done};
+  const std::size_t holes = n_jobs - prefilled;
+  if (holes > 0) {
+    std::unique_ptr<Executor> executor;
+    if (!options.hosts.empty()) {
+      TcpFleetOptions fopt;
+      fopt.hosts = options.hosts;
+      fopt.tuning = options.fleet;
+      fopt.test_kill_host0_after_jobs = options.test_kill_worker0_after_jobs;
+      fopt.test_hang_host0_after_jobs = options.test_hang_host0_after_jobs;
+      fopt.test_sever_host0_after_records = options.test_sever_host0_after_records;
+      fopt.test_interrupt_after_records = options.test_interrupt_after_records;
+      executor = make_tcp_fleet_executor(std::move(fopt));
+    } else if (options.procs > 0) {
+      ProcessPoolOptions popt;
+      popt.procs = options.procs;
+      popt.worker_argv = options.worker_argv;
+      popt.kill_worker0_after_jobs = options.test_kill_worker0_after_jobs;
+      executor = make_process_pool_executor(std::move(popt));
+    } else {
+      executor = make_thread_executor(options.jobs);
+    }
+    try {
+      result.jobs = executor->run(plan, sink);
+    } catch (...) {
+      // Everything acknowledged so far survives the failure — SIGINT and
+      // worker-loss errors alike leave a journal --resume can continue.
+      if (journal) journal->flush();
+      throw;
+    }
   } else {
-    executor = make_thread_executor(options.jobs);
+    result.jobs = 1;  // fully resumed: nothing dispatched
   }
-  result.jobs = executor->run(plan, sink);
+  if (journal) journal->flush();
 
-  const std::size_t n_jobs = points.size() * static_cast<std::size_t>(seeds);
-  if (delivered.load(std::memory_order_relaxed) != n_jobs)
+  if (delivered.load(std::memory_order_relaxed) != holes)
     throw std::runtime_error("run_sweep: executor lost records (" +
                              std::to_string(delivered.load()) + " of " +
-                             std::to_string(n_jobs) + " delivered)");
+                             std::to_string(holes) + " delivered)");
 
   for (PointResult& point : result.points) {
     std::vector<NamedValues> records;

@@ -19,6 +19,7 @@
 #include "runner/aggregate.hpp"
 #include "runner/record.hpp"
 #include "runner/scenario.hpp"
+#include "runner/tcp_fleet.hpp"
 
 namespace bng::runner {
 
@@ -31,14 +32,34 @@ struct SweepOptions {
   /// shippable scenario (registered name or scenario file). Results are
   /// bit-identical to any in-process run.
   std::uint32_t procs = 0;
+  /// Remote `ngsim --serve` workers as "host:port" endpoints. Non-empty
+  /// selects the TCP fleet executor (runner/tcp_fleet.hpp) and overrides
+  /// jobs/procs. Same bit-identical guarantee as every other executor.
+  std::vector<std::string> hosts;
+  /// Liveness / re-dispatch knobs for the TCP fleet.
+  FleetTuning fleet;
   /// One immutable pre-generated tx pool per sweep point, shared by all of
   /// its seeds (instead of a per-seed copy).
   bool share_workload = true;
   /// argv prefix exec'd for each worker process (e.g. {"/proc/self/exe",
   /// "--worker"}). Empty: fork without exec (same binary, no exec).
   std::vector<std::string> worker_argv;
-  /// Test hook (see ProcessPoolOptions::kill_worker0_after_jobs).
+
+  /// Non-empty: append every completed record to this crash-safe journal
+  /// (runner/journal.hpp). With `resume`, the path must hold the journal of
+  /// an identical earlier sweep: its records prefill their slots and only
+  /// the holes are re-dispatched — final output byte-identical to an
+  /// uninterrupted run.
+  std::string journal_path;
+  bool resume = false;
+
+  /// Test hook (see ProcessPoolOptions::kill_worker0_after_jobs); with
+  /// `hosts` it becomes the fleet's kill-host0 hook.
   int test_kill_worker0_after_jobs = -1;
+  /// Fleet test hooks (see TcpFleetOptions).
+  int test_hang_host0_after_jobs = -1;
+  int test_sever_host0_after_records = -1;
+  int test_interrupt_after_records = -1;
 };
 
 struct PointResult {
@@ -59,7 +80,8 @@ struct SweepResult {
 };
 
 /// Run every (point, seed) job of the scenario. Rethrows the first job
-/// failure after the executor has quiesced.
+/// failure after the executor has quiesced. Throws SweepInterrupted (with
+/// the journal flushed) if the sweep interrupt flag is raised mid-run.
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options);
 
 }  // namespace bng::runner

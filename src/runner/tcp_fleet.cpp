@@ -1,0 +1,634 @@
+#include "runner/tcp_fleet.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "runner/io_util.hpp"
+#include "runner/record_codec.hpp"
+#include "runner/worker_protocol.hpp"
+
+namespace bng::runner {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+bool send_frame(int fd, std::string_view payload) {
+  return io::send_all(fd, frame(payload));
+}
+
+struct Endpoint {
+  std::string host;
+  std::string port;
+};
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw std::invalid_argument("tcp fleet: bad host spec '" + spec +
+                                "' (expected host:port)");
+  return Endpoint{spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+/// Blocking-with-timeout TCP connect; returns the connected fd (set back to
+/// blocking, TCP_NODELAY on) or -1 with `error` filled in.
+int connect_with_timeout(const Endpoint& ep, std::uint32_t timeout_ms,
+                         std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+  if (gai != 0) {
+    error = std::string("resolve: ") + ::gai_strerror(gai);
+    return -1;
+  }
+  int fd = -1;
+  error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      } while (rc < 0 && errno == EINTR);
+      if (rc > 0) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) {
+          rc = 0;
+        } else {
+          errno = err;
+          rc = -1;
+        }
+      } else if (rc == 0) {
+        errno = ETIMEDOUT;
+        rc = -1;
+      }
+    }
+    if (rc == 0) {
+      // Connected: drop non-blocking (the dispatcher gates every recv with
+      // poll, so blocking sockets keep the I/O paths simple).
+      const int flags = ::fcntl(fd, F_GETFL);
+      if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+      set_nodelay(fd);
+      break;
+    }
+    error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  return fd;
+}
+
+enum class JobState : std::uint8_t { kPending, kInflight, kDone };
+
+struct RemoteWorker {
+  Endpoint endpoint;
+  std::string spec;  ///< original "host:port" for messages
+  int fd = -1;
+  bool alive = false;
+  bool abandoned = false;  ///< reconnect budget exhausted
+  std::string buf;
+  std::optional<std::size_t> inflight;  ///< job index
+  std::uint64_t last_heard_ms = 0;
+  std::uint64_t job_started_ms = 0;
+  std::uint32_t reconnects = 0;  ///< consecutive reconnect attempts; reset on a record
+  std::uint64_t next_reconnect_ms = 0;
+  std::uint32_t records_seen = 0;
+};
+
+class TcpFleetExecutor final : public Executor {
+ public:
+  explicit TcpFleetExecutor(TcpFleetOptions options) : opt_(std::move(options)) {
+    if (opt_.hosts.empty())
+      throw std::invalid_argument("tcp fleet: at least one --hosts endpoint required");
+  }
+
+  ~TcpFleetExecutor() override { close_all(); }
+
+  std::uint32_t run(const ExecutionPlan& plan, const RecordSink& sink) override {
+    if (!plan.scenario.source)
+      throw std::invalid_argument(
+          "tcp fleet execution needs a shippable scenario (a registered name or a "
+          "scenario file); this scenario was built programmatically");
+    seed_base_ = plan.scenario.seed_base;
+    seeds_ = plan.seeds;
+    n_points_ = plan.points.size();
+
+    const std::size_t n_jobs = n_points_ * static_cast<std::size_t>(plan.seeds);
+    job_state_.assign(n_jobs, JobState::kPending);
+    job_attempts_.assign(n_jobs, 0);
+    queue_.clear();
+    for (std::size_t job = 0; job < n_jobs; ++job) {
+      if (plan_job_done(plan, job)) {
+        job_state_[job] = JobState::kDone;
+      } else {
+        queue_.push_back(job);
+      }
+    }
+    const std::size_t n_pending = queue_.size();
+    if (n_pending == 0) return static_cast<std::uint32_t>(opt_.hosts.size());
+
+    workers_.clear();
+    workers_.reserve(opt_.hosts.size());
+    for (const std::string& spec : opt_.hosts) {
+      RemoteWorker w;
+      w.endpoint = parse_endpoint(spec);
+      w.spec = spec;
+      workers_.push_back(std::move(w));
+    }
+
+    try {
+      const std::uint64_t start = now_ms();
+      for (RemoteWorker& w : workers_)
+        if (!try_connect(w, plan, start)) schedule_reconnect(w, start);
+
+      std::size_t completed = 0;
+      while (completed < n_pending) {
+        throw_if_interrupted();
+        const std::uint64_t now = now_ms();
+        check_liveness(now);
+        try_reconnects(plan, now);
+        dispatch(now);
+        ensure_progress(completed, n_pending);
+        poll_io(plan, sink, completed, n_pending);
+      }
+    } catch (...) {
+      close_all();
+      throw;
+    }
+
+    close_all();  // orderly EOF: workers return to their accept loop
+    return static_cast<std::uint32_t>(workers_.size());
+  }
+
+ private:
+  WorkerHooks hooks_for(std::size_t worker_index) const {
+    WorkerHooks hooks;
+    if (worker_index == 0) {
+      if (opt_.test_kill_host0_after_jobs >= 0)
+        hooks.kill_after = static_cast<std::uint32_t>(opt_.test_kill_host0_after_jobs);
+      if (opt_.test_hang_host0_after_jobs >= 0)
+        hooks.hang_after = static_cast<std::uint32_t>(opt_.test_hang_host0_after_jobs);
+    }
+    return hooks;
+  }
+
+  /// Connect + handshake. True on success.
+  bool try_connect(RemoteWorker& w, const ExecutionPlan& plan, std::uint64_t now) {
+    std::string error;
+    const int fd =
+        connect_with_timeout(w.endpoint, opt_.tuning.connect_timeout_ms, error);
+    if (fd < 0) return false;
+    const std::size_t index = static_cast<std::size_t>(&w - workers_.data());
+    if (!send_frame(fd, handshake_payload(*plan.scenario.source, plan.share_workload,
+                                          hooks_for(index), opt_.tuning.heartbeat_ms))) {
+      ::close(fd);
+      return false;
+    }
+    w.fd = fd;
+    w.alive = true;
+    w.buf.clear();
+    w.inflight.reset();
+    w.last_heard_ms = now;
+    w.next_reconnect_ms = 0;
+    return true;
+  }
+
+  void check_liveness(std::uint64_t now) {
+    for (RemoteWorker& w : workers_) {
+      if (!w.alive) continue;
+      if (now - w.last_heard_ms > opt_.tuning.heartbeat_timeout_ms) {
+        // Dead (or stopped): nothing has arrived inside the window the
+        // worker was told to heartbeat within.
+        disconnect(w, now);
+        continue;
+      }
+      if (w.inflight && opt_.tuning.job_deadline_ms > 0 &&
+          now - w.job_started_ms > opt_.tuning.job_deadline_ms) {
+        // Hung, not dead: the worker still heartbeats but its job blew the
+        // deadline. Abandon the connection; the job runs elsewhere.
+        disconnect(w, now);
+      }
+    }
+  }
+
+  void try_reconnects(const ExecutionPlan& plan, std::uint64_t now) {
+    for (RemoteWorker& w : workers_) {
+      if (w.alive || w.abandoned || w.next_reconnect_ms == 0 ||
+          now < w.next_reconnect_ms)
+        continue;
+      ++w.reconnects;
+      if (!try_connect(w, plan, now)) schedule_reconnect(w, now);
+    }
+  }
+
+  void schedule_reconnect(RemoteWorker& w, std::uint64_t now) {
+    if (w.abandoned) return;
+    if (w.reconnects >= opt_.tuning.max_reconnects) {
+      w.abandoned = true;
+      w.next_reconnect_ms = 0;
+      return;
+    }
+    const std::uint32_t shift = w.reconnects < 16 ? w.reconnects : 16;
+    std::uint64_t delay =
+        static_cast<std::uint64_t>(opt_.tuning.reconnect_base_ms) << shift;
+    if (delay > opt_.tuning.reconnect_cap_ms) delay = opt_.tuning.reconnect_cap_ms;
+    w.next_reconnect_ms = now + delay;
+  }
+
+  void dispatch(std::uint64_t now) {
+    for (RemoteWorker& w : workers_) {
+      if (queue_.empty()) break;
+      if (!w.alive || w.inflight) continue;
+      const std::size_t job = queue_.front();
+      queue_.pop_front();
+      if (!assign(w, job, now)) {
+        queue_.push_front(job);
+        continue;
+      }
+      job_state_[job] = JobState::kInflight;
+    }
+    if (queue_.empty() && opt_.tuning.straggler_after_ms > 0) speculate(now);
+  }
+
+  /// Straggler policy: once the queue is dry, duplicate the longest-running
+  /// single-copy job onto each idle worker. The records dedupe by slot, so a
+  /// lost race costs nothing and a won race hides a slow host.
+  void speculate(std::uint64_t now) {
+    for (RemoteWorker& idle : workers_) {
+      if (!idle.alive || idle.inflight) continue;
+      std::size_t best_job = SIZE_MAX;
+      std::uint64_t best_elapsed = 0;
+      for (const RemoteWorker& busy : workers_) {
+        if (!busy.alive || !busy.inflight) continue;
+        const std::uint64_t elapsed = now - busy.job_started_ms;
+        if (elapsed < opt_.tuning.straggler_after_ms || elapsed < best_elapsed)
+          continue;
+        if (copies_inflight(*busy.inflight) > 1) continue;  // already duplicated
+        best_job = *busy.inflight;
+        best_elapsed = elapsed;
+      }
+      if (best_job == SIZE_MAX) return;
+      assign(idle, best_job, now);  // failure just leaves the original copy
+    }
+  }
+
+  std::size_t copies_inflight(std::size_t job) const {
+    std::size_t n = 0;
+    for (const RemoteWorker& w : workers_)
+      if (w.alive && w.inflight && *w.inflight == job) ++n;
+    return n;
+  }
+
+  bool assign(RemoteWorker& w, std::size_t job, std::uint64_t now) {
+    const auto point = static_cast<std::uint32_t>(job / seeds_);
+    const auto ordinal = static_cast<std::uint32_t>(job % seeds_);
+    if (!send_frame(w.fd, job_payload(point, ordinal))) {
+      disconnect(w, now);
+      return false;
+    }
+    w.inflight = job;
+    w.job_started_ms = now;
+    return true;
+  }
+
+  void disconnect(RemoteWorker& w, std::uint64_t now) {
+    if (w.fd >= 0) ::close(w.fd);
+    w.fd = -1;
+    w.alive = false;
+    w.buf.clear();
+    if (w.inflight) {
+      const std::size_t job = *w.inflight;
+      w.inflight.reset();
+      requeue(job);
+    }
+    schedule_reconnect(w, now);
+  }
+
+  void requeue(std::size_t job) {
+    if (job_state_[job] == JobState::kDone) return;
+    if (copies_inflight(job) > 0) return;  // a speculative duplicate survives
+    const auto point = static_cast<std::uint32_t>(job / seeds_);
+    const auto ordinal = static_cast<std::uint32_t>(job % seeds_);
+    if (++job_attempts_[job] >= opt_.tuning.max_job_attempts)
+      throw std::runtime_error(
+          "tcp fleet: job (point " + std::to_string(point) + ", seed ordinal " +
+          std::to_string(ordinal) + ", seed " +
+          std::to_string(job_seed(seed_base_, point, ordinal)) + ") lost its worker " +
+          std::to_string(job_attempts_[job]) + " times; giving up on the sweep");
+    job_state_[job] = JobState::kPending;
+    // Front of the queue: the re-run starts before new work, bounding how
+    // long a failure can delay the merge.
+    queue_.push_front(job);
+  }
+
+  /// The graceful-degradation floor: fail loudly the moment no live worker,
+  /// no queued reconnect, and no in-flight job can still deliver a record —
+  /// never hang the merge loop awaiting one that cannot arrive.
+  void ensure_progress(std::size_t completed, std::size_t n_pending) const {
+    if (completed >= n_pending) return;
+    for (const RemoteWorker& w : workers_) {
+      if (w.alive) return;
+      if (!w.abandoned && w.next_reconnect_ms != 0) return;
+    }
+    throw std::runtime_error(
+        "tcp fleet: no live workers remain and every reconnect budget is "
+        "exhausted (" +
+        std::to_string(n_pending - completed) + " of " + std::to_string(n_pending) +
+        " jobs incomplete)");
+  }
+
+  void poll_io(const ExecutionPlan& plan, const RecordSink& sink,
+               std::size_t& completed, std::size_t n_pending) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive) continue;
+      fds.push_back(pollfd{workers_[i].fd, POLLIN, 0});
+      index.push_back(i);
+    }
+    // Short tick so liveness checks, reconnect timers, and the interrupt
+    // flag are serviced even when no bytes flow.
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc < 0) {
+      if (errno == EINTR) return;
+      throw std::runtime_error(std::string("tcp fleet: poll: ") + std::strerror(errno));
+    }
+    const std::uint64_t now = now_ms();
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if (fds[k].revents == 0) continue;
+      RemoteWorker& w = workers_[index[k]];
+      if (!w.alive) continue;  // disconnected earlier in this pass
+      switch (io::recv_some(w.fd, w.buf)) {
+        case io::ReadResult::kData:
+          w.last_heard_ms = now;
+          drain_frames(w, plan, sink, completed, now);
+          if (completed >= n_pending) return;
+          break;
+        case io::ReadResult::kEof:
+        case io::ReadResult::kError:
+          disconnect(w, now);
+          break;
+      }
+    }
+  }
+
+  void drain_frames(RemoteWorker& w, const ExecutionPlan& plan, const RecordSink& sink,
+                    std::size_t& completed, std::uint64_t now) {
+    std::string payload;
+    while (w.alive && take_frame(w.buf, payload)) {
+      if (payload.empty())
+        throw std::runtime_error("tcp fleet: empty frame from " + w.spec);
+      switch (static_cast<FrameKind>(payload[0])) {
+        case FrameKind::kHeartbeat:
+          break;  // the bytes themselves already refreshed last_heard_ms
+        case FrameKind::kRecord:
+          handle_record(w, std::string_view(payload).substr(1), plan, sink, completed,
+                        now);
+          break;
+        case FrameKind::kError:
+          throw std::runtime_error("sweep job failed in worker " + w.spec + ": " +
+                                   payload.substr(1));
+        default:
+          throw std::runtime_error("tcp fleet: unexpected frame from " + w.spec);
+      }
+    }
+  }
+
+  void handle_record(RemoteWorker& w, std::string_view bytes, const ExecutionPlan& plan,
+                     const RecordSink& sink, std::size_t& completed, std::uint64_t now) {
+    RunRecord rec = decode_record(bytes);
+    if (rec.point >= plan.points.size() || rec.ordinal >= plan.seeds)
+      throw std::runtime_error("tcp fleet: record identity out of range from " +
+                               w.spec);
+    const std::size_t job = static_cast<std::size_t>(rec.point) * seeds_ + rec.ordinal;
+    if (!w.inflight || *w.inflight != job)
+      throw std::runtime_error("tcp fleet: record for a job " + w.spec +
+                               " was not assigned");
+    w.inflight.reset();
+    w.reconnects = 0;  // delivered work proves the host healthy again
+    ++w.records_seen;
+
+    if (job_state_[job] != JobState::kDone) {
+      job_state_[job] = JobState::kDone;
+      ++completed;
+      sink(std::move(rec));
+      ++records_delivered_;
+      if (opt_.test_interrupt_after_records >= 0 &&
+          records_delivered_ >=
+              static_cast<std::size_t>(opt_.test_interrupt_after_records)) {
+        // Deterministic SIGTERM stand-in: raise the flag exactly as the
+        // signal handler would, then take the cooperative exit right away.
+        sweep_interrupt_flag().store(true, std::memory_order_relaxed);
+        throw_if_interrupted();
+      }
+    }
+    // else: a speculative duplicate lost the race — drop it silently.
+
+    const std::size_t index = static_cast<std::size_t>(&w - workers_.data());
+    if (index == 0 && opt_.test_sever_host0_after_records >= 0 && !severed_ &&
+        w.records_seen >= static_cast<std::uint32_t>(opt_.test_sever_host0_after_records)) {
+      severed_ = true;  // test hook: cut the link; reconnect must heal it
+      disconnect(w, now);
+    }
+  }
+
+  void close_all() {
+    for (RemoteWorker& w : workers_) {
+      if (w.fd >= 0) ::close(w.fd);
+      w.fd = -1;
+      w.alive = false;
+    }
+  }
+
+  TcpFleetOptions opt_;
+  std::vector<RemoteWorker> workers_;
+  std::deque<std::size_t> queue_;
+  std::vector<JobState> job_state_;
+  std::vector<std::uint32_t> job_attempts_;
+  std::size_t n_points_ = 0;
+  std::uint32_t seeds_ = 1;
+  std::uint64_t seed_base_ = 0;
+  std::size_t records_delivered_ = 0;
+  bool severed_ = false;
+};
+
+// --- Worker (serve) side -----------------------------------------------------
+
+void serve_session(int fd) {
+  WorkerState st;
+  std::mutex send_mu;
+  const SendPayload send = [fd, &send_mu](std::string_view payload) {
+    std::lock_guard lock(send_mu);
+    return send_frame(fd, payload);
+  };
+
+  std::thread heartbeat;
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  auto stop_heartbeat = [&] {
+    {
+      std::lock_guard lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
+  try {
+    std::string buf;
+    std::string payload;
+    for (;;) {
+      while (take_frame(buf, payload)) {
+        if (payload.empty()) throw CodecError("worker: empty frame");
+        wire::Reader in{payload, 1};
+        switch (static_cast<FrameKind>(payload[0])) {
+          case FrameKind::kHandshake:
+            worker_handshake(st, in);
+            if (st.heartbeat_ms > 0 && !heartbeat.joinable()) {
+              // The beacon runs on its own thread so a worker deep in a long
+              // job still proves it is alive — the dispatcher's deadline,
+              // not its heartbeat timeout, is what judges slow jobs.
+              const std::uint32_t interval = st.heartbeat_ms;
+              heartbeat = std::thread([&send, &hb_mu, &hb_cv, &hb_stop, interval] {
+                std::unique_lock lock(hb_mu);
+                for (;;) {
+                  if (hb_cv.wait_for(lock, std::chrono::milliseconds(interval),
+                                     [&] { return hb_stop; }))
+                    return;
+                  lock.unlock();
+                  const bool ok = send(heartbeat_payload());
+                  lock.lock();
+                  if (!ok) return;
+                }
+              });
+            }
+            break;
+          case FrameKind::kJob:
+            if (!worker_job(st, in, send)) {
+              stop_heartbeat();
+              return;  // dispatcher went away mid-send
+            }
+            break;
+          default:
+            throw CodecError("worker: unexpected frame kind");
+        }
+      }
+      if (io::recv_some(fd, buf) != io::ReadResult::kData) break;  // EOF/reset
+    }
+  } catch (const std::exception& e) {
+    send(error_payload(e.what()));
+  } catch (...) {
+    send(error_payload("unknown worker error"));
+  }
+  stop_heartbeat();
+}
+
+}  // namespace
+
+int make_listen_socket(std::uint16_t port, std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("serve: socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: bind: ") + std::strerror(saved));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: listen: ") + std::strerror(saved));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("serve: getsockname: ") +
+                             std::strerror(saved));
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int serve_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return 1;
+    }
+    set_nodelay(fd);
+    // One dispatcher at a time, each connection a fresh session: a crashed
+    // dispatcher's --resume successor reconnects and starts clean.
+    serve_session(fd);
+    ::close(fd);
+  }
+}
+
+int serve_main(std::uint16_t port) {
+  std::uint16_t bound = 0;
+  int listen_fd;
+  try {
+    listen_fd = make_listen_socket(port, bound);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ngsim: %s\n", e.what());
+    return 1;
+  }
+  std::printf("ngsim: serving on port %u\n", bound);
+  std::fflush(stdout);
+  return serve_loop(listen_fd);
+}
+
+std::unique_ptr<Executor> make_tcp_fleet_executor(TcpFleetOptions options) {
+  return std::make_unique<TcpFleetExecutor>(std::move(options));
+}
+
+}  // namespace bng::runner

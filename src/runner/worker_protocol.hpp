@@ -1,0 +1,92 @@
+// The worker wire protocol, shared by both dispatch substrates: the
+// fork/exec'd process pool (process_pool.cpp, socketpairs) and the TCP fleet
+// (tcp_fleet.cpp, `ngsim --serve` workers). One protocol, two transports —
+// that is what makes an N-machine sweep bit-identical to `--procs N` and to
+// `--jobs 1`.
+//
+// Frames (runner/record_codec.hpp length-prefixed framing):
+//
+//   dispatcher -> worker  'H' u16 codec-version, u8 source-kind, u32+bytes
+//                             scenario ref (registered name | scenario text),
+//                             u32 nodes, u32 blocks, u8 share_workload,
+//                             u32 kill-after, u32 hang-after (test hooks;
+//                             0xffffffff = off), u32 heartbeat-ms (0 = none)
+//   dispatcher -> worker  'J' u32 point, u32 ordinal
+//   worker -> dispatcher  'R' encode_record() bytes
+//   worker -> dispatcher  'E' utf-8 error message (fatal; dispatcher rethrows)
+//   worker -> dispatcher  'B' heartbeat (no payload beyond the kind byte)
+//
+// The worker rebuilds the scenario from its shippable source (the registry
+// for builtins, the key=value grammar for inline text), re-expands the sweep
+// grid, and funnels every job through the same run_job() as the in-process
+// thread pool — so a record computed anywhere is bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/record_codec.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::sim {
+struct PrebuiltWorkload;
+}
+
+namespace bng::runner {
+
+/// "Off" value for the handshake's kill-after / hang-after test hooks.
+inline constexpr std::uint32_t kHookDisabled = 0xffffffffu;
+
+/// Fault-injection hooks shipped in the handshake, driven by tests and the
+/// fleet's CI smoke: `kill_after` makes the worker SIGKILL itself when handed
+/// its (n+1)-th job (a crash mid-job); `hang_after` makes it compute forever
+/// on that job while its heartbeat thread keeps beating (a hung-not-dead
+/// worker, exercising the dispatcher's per-job deadline).
+struct WorkerHooks {
+  std::uint32_t kill_after = kHookDisabled;
+  std::uint32_t hang_after = kHookDisabled;
+};
+
+[[nodiscard]] std::string handshake_payload(const ScenarioSource& source,
+                                            bool share_workload, WorkerHooks hooks,
+                                            std::uint32_t heartbeat_ms);
+[[nodiscard]] std::string job_payload(std::uint32_t point, std::uint32_t ordinal);
+[[nodiscard]] std::string error_payload(std::string_view message);
+[[nodiscard]] std::string heartbeat_payload();
+
+/// How a worker sends one framed payload back to its dispatcher. Returns
+/// false when the dispatcher is gone (the worker should wind down). The TCP
+/// worker's implementation takes a mutex so job records and heartbeat-thread
+/// beacons never interleave mid-frame.
+using SendPayload = std::function<bool(std::string_view payload)>;
+
+/// Worker-side session state: the rebuilt scenario, its re-expanded grid,
+/// and the one cached per-point workload pool.
+struct WorkerState {
+  std::optional<Scenario> scenario;
+  std::vector<SweepPoint> points;
+  bool share_workload = true;
+  WorkerHooks hooks;
+  std::uint32_t heartbeat_ms = 0;
+  std::uint32_t jobs_done = 0;
+  // One pool is cached at a time: the dispatcher hands a worker consecutive
+  // seeds of the same point when it can, and the pool is a seed-independent
+  // pure function of the point, so rebuilt pools stay bit-identical anyway.
+  std::uint32_t pool_point = 0;
+  std::shared_ptr<const sim::PrebuiltWorkload> pool;
+};
+
+/// Parse an 'H' frame (cursor positioned after the kind byte) and rebuild
+/// the scenario + grid. Throws on version skew or an unknown scenario.
+void worker_handshake(WorkerState& st, wire::Reader& in);
+
+/// Run one 'J' frame's job and send the 'R' record (or trip a fault hook).
+/// Returns false when the dispatcher is unreachable.
+bool worker_job(WorkerState& st, wire::Reader& in, const SendPayload& send);
+
+}  // namespace bng::runner
