@@ -23,6 +23,8 @@
 #include <string>
 #include <system_error>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace_ring.hpp"
 #include "runner/emit.hpp"
 #include "runner/executor.hpp"
 #include "runner/journal.hpp"
@@ -55,6 +57,15 @@ Options:
   --no-table            suppress the human-readable table
   --list                list registered scenarios and exit
   --help                this text
+
+Observability (see bench/README.md "Observability"):
+  --progress            render a [progress] line on stderr every ~500 ms
+  --stats-json PATH     write an end-of-sweep telemetry report (records,
+                        journal fsync lag, per-worker fleet stats) to PATH
+  --trace CATS          record a decision trace to <out>/<scenario>_trace.jsonl;
+                        CATS = comma list of blocks, adversary, events (or all).
+                        In-process runs only (not --procs/--hosts); artifacts
+                        stay byte-identical to an untraced run
 
 Distributed mode (see bench/README.md):
   --serve PORT          run as a TCP fleet worker on PORT (0 = kernel pick)
@@ -157,6 +168,7 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   std::string scenario_file;
   std::string resume_path;
+  std::string stats_json_path;
   std::string out_dir = ".";
   bool print_table = true;
   runner::RunKnobs knobs{runner::env_u32("REPRO_NODES", 1000),
@@ -295,7 +307,41 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(arg, "--progress") == 0) {
+      options.progress = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--stats-json") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --stats-json requires a path\n");
+        return 1;
+      }
+      stats_json_path = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--trace") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr,
+                     "ngsim: --trace requires categories (blocks,adversary,events)\n");
+        return 1;
+      }
+      try {
+        options.trace_mask = bng::obs::parse_trace_mask(next);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ngsim: %s\n", e.what());
+        return 1;
+      }
+      ++i;
+      continue;
+    }
     std::fprintf(stderr, "ngsim: unknown option '%s'\n\n%s", arg, kUsage);
+    return 1;
+  }
+
+  if (options.trace_mask != 0 && (options.procs > 0 || !options.hosts.empty())) {
+    std::fprintf(stderr,
+                 "ngsim: --trace needs the in-process executor; drop --procs/--hosts\n");
     return 1;
   }
 
@@ -407,6 +453,14 @@ int main(int argc, char** argv) {
 
   if (options.procs > 0) options.worker_argv = {self_exe_path(argv[0]), "--worker"};
 
+  const auto trace_path = dir / (scenario->name + "_trace.jsonl");
+  if (options.trace_mask != 0) options.trace_path = trace_path.string();
+
+  // Telemetry backs both --progress and --stats-json; a sweep with neither
+  // pays nothing (run_sweep sees a null pointer).
+  bng::obs::SweepTelemetry telemetry;
+  if (!stats_json_path.empty() || options.progress) options.telemetry = &telemetry;
+
   // A journaled sweep turns SIGINT/SIGTERM into a graceful stop: the
   // executor quiesces, the journal flushes, and the exit code + hint say how
   // to pick the sweep back up. Unjournaled sweeps keep the default
@@ -433,6 +487,14 @@ int main(int argc, char** argv) {
       return 1;
     std::printf("\nwrote %s, %s, %s\n", json_path.string().c_str(),
                 agg_path.string().c_str(), seeds_path.string().c_str());
+    if (options.trace_mask != 0)
+      std::printf("wrote %s\n", trace_path.string().c_str());
+    if (!stats_json_path.empty()) {
+      if (!write_file(stats_json_path,
+                      telemetry.to_json(result.scenario, result.wall_s)))
+        return 1;
+      std::printf("wrote %s\n", stats_json_path.c_str());
+    }
   } catch (const runner::SweepInterrupted&) {
     if (!options.journal_path.empty()) {
       std::fprintf(stderr,

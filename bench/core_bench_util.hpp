@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "net/network.hpp"
+#include "obs/registry.hpp"
 
 namespace bng::bench {
 
@@ -26,6 +27,15 @@ struct BenchSink final : net::INode {
 inline std::uint64_t lcg_next(std::uint64_t& s) {
   s = s * 6364136223846793005ull + 1442695040888963407ull;
   return s;
+}
+
+/// Export every metric of an obs::Registry snapshot as a google-benchmark
+/// counter, so benchmark-side accounting goes through the same typed
+/// registry as the sweep records (names in the JSON are unchanged —
+/// registration order and names are the schema).
+template <class BenchmarkState>
+void export_registry(BenchmarkState& state, const obs::Registry& reg) {
+  for (const auto& [name, value] : reg.snapshot()) state.counters[name] = value;
 }
 
 }  // namespace bng::bench

@@ -20,6 +20,7 @@
 #include "net/latency_model.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace {
 
@@ -174,10 +175,19 @@ void BM_NetworkLinkTrainPending(benchmark::State& state) {
     links = static_cast<double>(net.active_links());
     q.run_all();
   }
-  state.counters["max_pending_events"] = max_pending;
-  state.counters["in_flight_msgs"] = max_in_flight;
-  state.counters["active_links"] = links;
-  state.counters["pending_per_link"] = links > 0 ? max_pending / links : 0;
+  // Benchmark-side accounting goes through the typed registry (obs/) — the
+  // same schema machinery sweep records use; exported counter names are
+  // unchanged.
+  obs::Registry reg;
+  reg.gauge("max_pending_events", obs::Unit::kCount,
+            "peak event-queue size under the burst")
+      .set(max_pending);
+  reg.gauge("in_flight_msgs", obs::Unit::kCount, "peak messages in flight")
+      .set(max_in_flight);
+  reg.gauge("active_links", obs::Unit::kCount, "links carrying traffic").set(links);
+  reg.gauge("pending_per_link", obs::Unit::kNone, "peak pending events per link")
+      .set(links > 0 ? max_pending / links : 0);
+  bench::export_registry(state, reg);
 }
 BENCHMARK(BM_NetworkLinkTrainPending)->Args({200, 16})->Args({1000, 16});
 
@@ -207,12 +217,20 @@ void BM_NetworkSendFaultLayerOverhead(benchmark::State& state) {
     max_pending = std::max(max_pending, static_cast<double>(q.pending()));
     q.run_all();
   }
-  state.counters["scheduled_by_plan"] =
-      static_cast<double>(q.pending() - pending_before);
-  state.counters["max_pending_events"] = max_pending;
-  state.counters["messages_sent"] = static_cast<double>(net.messages_sent());
+  obs::Registry reg;
+  reg.counter("scheduled_by_plan", obs::Unit::kCount,
+              "events the empty FaultPlan scheduled (must be 0)")
+      .inc(static_cast<std::uint64_t>(q.pending() - pending_before));
+  reg.gauge("max_pending_events", obs::Unit::kCount,
+            "peak event-queue size under the burst")
+      .set(max_pending);
+  reg.counter("messages_sent", obs::Unit::kCount, "messages through the send path")
+      .inc(net.messages_sent());
   // An empty plan must add zero events; any residue is a bug.
-  state.counters["counter_mismatch"] = q.pending() == pending_before ? 0 : 1;
+  reg.gauge("counter_mismatch", obs::Unit::kNone,
+            "1 when the fault layer perturbed the queue")
+      .set(q.pending() == pending_before ? 0 : 1);
+  bench::export_registry(state, reg);
   if (q.pending() != pending_before) state.SkipWithError("empty FaultPlan scheduled events");
 }
 // Fixed iteration count so the two variants' counters (max_pending_events,
@@ -273,6 +291,28 @@ void BM_MempoolAssemble(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(pool.assemble(1'000'000));
 }
 BENCHMARK(BM_MempoolAssemble);
+
+void BM_TraceRingRecord(benchmark::State& state) {
+  // The trace ring's two costs: the enabled record path (arg 1 — one bounds
+  // write into the ring) and the disabled gate (arg 0 — the `wants()` load +
+  // branch every traced call site pays when tracing is off; this is the
+  // number the "--trace off is zero-overhead" claim rests on).
+  const bool enabled = state.range(0) != 0;
+  obs::TraceRing ring(enabled ? obs::kTraceBlocks : 0, 1u << 12);
+  double t = 0;
+  ring.set_clock([&t] { return t; });
+  BlockId block = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    ++block;
+    if (ring.wants(obs::kTraceBlocks))
+      ring.record(obs::kTraceBlocks, obs::TraceKind::kAccept, 1, block, block - 1, 2);
+    benchmark::DoNotOptimize(ring.size());
+  }
+  state.counters["recorded"] = static_cast<double>(ring.total_recorded());
+  state.counters["dropped"] = static_cast<double>(ring.dropped());
+}
+BENCHMARK(BM_TraceRingRecord)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,14 +1,24 @@
 #!/usr/bin/env python3
-"""Append a reduced micro_core benchmark run to the JSONL trend record.
+"""Append a reduced micro_core benchmark run to the JSONL trend store.
 
-The trend store (ROADMAP "trend store" interim form) is one JSON object per
-line: commit, date, source, and a flat {benchmark name: cpu_time ns} map.
+The trend store (ROADMAP "trend store") is one JSON object per line:
+commit, date, source, and a flat {benchmark name: cpu_time ns} map.
 Committed lines are baselines recorded by hand on the reference container;
-CI appends its own run to the artifact copy so drift is a one-line diff.
+CI appends its own run to the artifact copy so drift is a one-line diff,
+and check_trend.py gates hot-path regressions against the last baseline.
+
+Reduction: per benchmark name, the MINIMUM cpu_time across repetitions
+(run micro_core with --benchmark_repetitions=N). The minimum is the
+standard noise-robust reducer for microbenchmarks — scheduling jitter and
+cache pollution only ever add time, so min-of-N approaches the true cost.
+Aggregate rows (mean/median/stddev) are skipped; per-repetition rows share
+a name and fold into one entry.
 
 Usage:
-  append_trend.py --in micro_core.json --out micro_core.jsonl \
+  append_trend.py --in micro_core.json --store micro_core.jsonl \
                   --commit <sha> [--source ci]
+
+(--out is accepted as an alias of --store for older callers.)
 """
 import argparse
 import datetime
@@ -20,20 +30,24 @@ def reduce_run(raw: dict, commit: str, source: str) -> dict:
     for b in raw.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        benchmarks[b["name"]] = round(float(b["cpu_time"]), 2)
+        name = b["name"]
+        t = float(b["cpu_time"])
+        if name not in benchmarks or t < benchmarks[name]:
+            benchmarks[name] = t
     return {
         "commit": commit,
         "date": datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%d"),
         "source": source,
         "time_unit": "ns",
-        "benchmarks": benchmarks,
+        "benchmarks": {k: round(v, 2) for k, v in benchmarks.items()},
     }
 
 
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--in", dest="infile", required=True)
-    ap.add_argument("--out", dest="outfile", required=True)
+    ap.add_argument("--store", "--out", dest="store", required=True,
+                    help="trend store JSONL to append to")
     ap.add_argument("--commit", required=True)
     ap.add_argument("--source", default="ci")
     args = ap.parse_args()
@@ -41,7 +55,7 @@ def main() -> None:
     with open(args.infile) as f:
         raw = json.load(f)
     record = reduce_run(raw, args.commit, args.source)
-    with open(args.outfile, "a") as f:
+    with open(args.store, "a") as f:
         f.write(json.dumps(record, sort_keys=True) + "\n")
     print(f"appended {len(record['benchmarks'])} benchmarks for {args.commit[:12]}")
 

@@ -1,9 +1,11 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
+#include <type_traits>
 #include <unordered_map>
 
 #include "common/stats.hpp"
+#include "obs/registry.hpp"
 
 namespace bng::metrics {
 
@@ -350,20 +352,56 @@ MetricsReport compute_metrics(const Experiment& exp, double epsilon, double delt
   return r;
 }
 
+void register_report(obs::Registry& reg, const MetricsReport& m) {
+  using obs::Unit;
+  // Registration order is the record schema — append only, never reorder.
+  reg.gauge("time_to_prune_p90_s", Unit::kSeconds,
+            "delta time to prune, 90th percentile (paper §6)")
+      .set(m.time_to_prune_p90_s);
+  reg.gauge("time_to_win_p90_s", Unit::kSeconds,
+            "time to win, 90th percentile (paper §6)")
+      .set(m.time_to_win_p90_s);
+  reg.gauge("mpu", Unit::kNone, "mining power utilization (paper §6)")
+      .set(m.mining_power_utilization);
+  reg.gauge("fairness", Unit::kNone,
+            "non-largest-miner representation ratio (paper §8)")
+      .set(m.fairness);
+  reg.gauge("consensus_delay_s", Unit::kSeconds,
+            "(epsilon,delta) consensus delay (paper §6)")
+      .set(m.consensus_delay_s);
+  reg.gauge("tx_per_sec", Unit::kNone, "committed payload transactions per second")
+      .set(m.tx_per_sec);
+  reg.counter("main_pow_blocks", Unit::kCount, "PoW blocks on the eventual main chain")
+      .inc(m.main_chain_pow_blocks);
+  reg.counter("total_pow_blocks", Unit::kCount, "PoW blocks generated anywhere")
+      .inc(m.total_pow_blocks);
+  reg.counter("main_micro_blocks", Unit::kCount,
+              "NG microblocks on the eventual main chain")
+      .inc(m.main_chain_micro_blocks);
+  reg.counter("total_micro_blocks", Unit::kCount, "NG microblocks generated anywhere")
+      .inc(m.total_micro_blocks);
+  reg.counter("main_chain_txs", Unit::kCount,
+              "payload transactions committed on the main chain")
+      .inc(m.main_chain_txs);
+}
+
 std::vector<std::pair<std::string, double>> to_named_values(const MetricsReport& m) {
-  return {
-      {"time_to_prune_p90_s", m.time_to_prune_p90_s},
-      {"time_to_win_p90_s", m.time_to_win_p90_s},
-      {"mpu", m.mining_power_utilization},
-      {"fairness", m.fairness},
-      {"consensus_delay_s", m.consensus_delay_s},
-      {"tx_per_sec", m.tx_per_sec},
-      {"main_pow_blocks", static_cast<double>(m.main_chain_pow_blocks)},
-      {"total_pow_blocks", static_cast<double>(m.total_pow_blocks)},
-      {"main_micro_blocks", static_cast<double>(m.main_chain_micro_blocks)},
-      {"total_micro_blocks", static_cast<double>(m.total_micro_blocks)},
-      {"main_chain_txs", static_cast<double>(m.main_chain_txs)},
-  };
+  obs::Registry reg;
+  register_report(reg, m);
+  return reg.snapshot();
+}
+
+std::vector<std::pair<std::string, double>> attacker_named_values(
+    const AttackerReport& report) {
+  obs::Registry reg;
+  visit_attacker_fields(report, [&reg](const char* name, auto v) {
+    if constexpr (std::is_floating_point_v<std::decay_t<decltype(v)>>) {
+      reg.gauge(name, obs::Unit::kNone).set(v);
+    } else {
+      reg.counter(name, obs::Unit::kCount).inc(static_cast<std::uint64_t>(v));
+    }
+  });
+  return reg.snapshot();
 }
 
 }  // namespace bng::metrics

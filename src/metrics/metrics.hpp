@@ -14,6 +14,10 @@
 #include "common/types.hpp"
 #include "sim/experiment.hpp"
 
+namespace bng::obs {
+class Registry;
+}
+
 namespace bng::metrics {
 
 struct MetricsReport {
@@ -38,9 +42,17 @@ struct MetricsReport {
 MetricsReport compute_metrics(const sim::Experiment& exp, double epsilon = 0.9,
                               double delta = 0.9);
 
+/// Register the standard report schema into `reg` (obs/registry.hpp) —
+/// gauges for the §6 metrics, counters for the supporting block/tx counts —
+/// and load the report's values. Registration order IS the record schema:
+/// to_named_values is reg.snapshot() of exactly this call, so the names,
+/// order, and bytes that reach RunRecords (and their digests) are pinned
+/// here and nowhere else.
+void register_report(obs::Registry& reg, const MetricsReport& report);
+
 /// The report flattened to ordered (name, value) pairs — the shape run
-/// records and the sweep aggregator consume. A pure function of the report:
-/// the order is the record schema, so emitters print stable columns.
+/// records and the sweep aggregator consume. A pure function of the report
+/// (register_report into a fresh registry, snapshotted).
 std::vector<std::pair<std::string, double>> to_named_values(const MetricsReport& report);
 
 /// (ε,δ) consensus delay (§6): the δ-percentile over sample times of the
@@ -85,6 +97,12 @@ struct AttackerReport {
 
 /// Revenue/fairness accounting for one designated attacker node.
 AttackerReport attacker_report(const sim::Experiment& exp, NodeId attacker);
+
+/// The attacker report flattened through the registry (gauges for the
+/// shares, counters for the block counts) in visit_attacker_fields order —
+/// the same schema the record codec and the sweep JSON emitter speak.
+std::vector<std::pair<std::string, double>> attacker_named_values(
+    const AttackerReport& report);
 
 /// Visit every AttackerReport field as (name, member reference) in the one
 /// canonical schema order shared by the record codec's binary and JSON

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "chain/validation.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace bng::ng {
 
@@ -134,6 +135,9 @@ chain::BlockPtr NgNode::build_microblock(std::uint32_t tip, std::uint64_t salt) 
             make_poison_tx(evidence.accused_key_block, *pruned, reward_address_, bounty));
         placed_now.push_back(accused_leader);
         ++poisons_placed_;
+        if (cfg_.trace != nullptr && cfg_.trace->wants(obs::kTraceAdversary))
+          cfg_.trace->record(obs::kTraceAdversary, obs::TraceKind::kPoison, id_,
+                             tree_.interner().lookup(evidence.accused_key_block));
         placed = true;
       }
     }

@@ -1,0 +1,120 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bng::obs {
+
+const char* unit_name(Unit u) {
+  switch (u) {
+    case Unit::kNone:
+      return "";
+    case Unit::kSeconds:
+      return "s";
+    case Unit::kCount:
+      return "count";
+    case Unit::kBytes:
+      return "bytes";
+  }
+  return "";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("obs: histogram needs at least one bucket bound");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("obs: histogram bounds must be ascending");
+  counts_.assign(bounds_.size(), 0);
+}
+
+void Histogram::observe(double v) {
+  ++count_;
+  sum_ += v;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      ++counts_[i];
+      return;
+    }
+  }
+  ++overflow_;
+}
+
+const Registry::Entry* Registry::find(const std::string& name) const {
+  for (const Entry& e : entries_)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+Registry::Entry& Registry::add(std::string name, Unit unit, std::string description,
+                               Kind kind, std::size_t slot) {
+  entries_.push_back(Entry{std::move(name), std::move(description), unit, kind, slot});
+  return entries_.back();
+}
+
+Counter& Registry::counter(std::string name, Unit unit, std::string description) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kCounter)
+      throw std::invalid_argument("obs: '" + name + "' already registered as a non-counter");
+    return *counters_[e->slot];
+  }
+  counters_.push_back(std::make_unique<Counter>());
+  add(std::move(name), unit, std::move(description), Kind::kCounter,
+      counters_.size() - 1);
+  return *counters_.back();
+}
+
+Gauge& Registry::gauge(std::string name, Unit unit, std::string description) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kGauge)
+      throw std::invalid_argument("obs: '" + name + "' already registered as a non-gauge");
+    return *gauges_[e->slot];
+  }
+  gauges_.push_back(std::make_unique<Gauge>());
+  add(std::move(name), unit, std::move(description), Kind::kGauge, gauges_.size() - 1);
+  return *gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string name, std::vector<double> bounds, Unit unit,
+                               std::string description) {
+  if (const Entry* e = find(name)) {
+    if (e->kind != Kind::kHistogram)
+      throw std::invalid_argument("obs: '" + name +
+                                  "' already registered as a non-histogram");
+    return *histograms_[e->slot];
+  }
+  histograms_.push_back(std::make_unique<Histogram>(std::move(bounds)));
+  add(std::move(name), unit, std::move(description), Kind::kHistogram,
+      histograms_.size() - 1);
+  return *histograms_.back();
+}
+
+std::vector<std::pair<std::string, double>> Registry::snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.emplace_back(e.name, static_cast<double>(counters_[e.slot]->value()));
+        break;
+      case Kind::kGauge:
+        out.emplace_back(e.name, gauges_[e.slot]->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *histograms_[e.slot];
+        out.emplace_back(e.name + "_count", static_cast<double>(h.count()));
+        out.emplace_back(e.name + "_sum", h.sum());
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_counts()[i];
+          char bound[32];
+          std::snprintf(bound, sizeof bound, "%g", h.bounds()[i]);
+          out.emplace_back(e.name + "_le_" + bound, static_cast<double>(cumulative));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bng::obs

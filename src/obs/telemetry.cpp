@@ -1,0 +1,121 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+
+namespace bng::obs {
+
+void SweepTelemetry::start(std::size_t total_jobs, std::size_t prefilled) {
+  std::lock_guard lock(mu_);
+  total_jobs_ = total_jobs;
+  prefilled_ = prefilled;
+  delivered_ = 0;
+}
+
+void SweepTelemetry::on_record_delivered() {
+  std::lock_guard lock(mu_);
+  ++delivered_;
+}
+
+void SweepTelemetry::journal_stats(std::uint64_t fsyncs, double total_ms,
+                                   double max_ms) {
+  std::lock_guard lock(mu_);
+  has_journal_ = true;
+  journal_fsyncs_ = fsyncs;
+  journal_fsync_total_ms_ = total_ms;
+  journal_fsync_max_ms_ = max_ms;
+}
+
+void SweepTelemetry::init_workers(const std::vector<std::string>& endpoints) {
+  std::lock_guard lock(mu_);
+  workers_.clear();
+  workers_.resize(endpoints.size());
+  for (std::size_t i = 0; i < endpoints.size(); ++i)
+    workers_[i].endpoint = endpoints[i];
+}
+
+void SweepTelemetry::update_worker(std::size_t index, const WorkerTelemetry& w) {
+  std::lock_guard lock(mu_);
+  if (index < workers_.size()) workers_[index] = w;
+}
+
+std::string SweepTelemetry::progress_line() const {
+  std::lock_guard lock(mu_);
+  char buf[256];
+  const std::size_t done = prefilled_ + delivered_;
+  int n = std::snprintf(buf, sizeof buf, "[progress] records=%zu/%zu", done,
+                        total_jobs_);
+  std::string out(buf, static_cast<std::size_t>(n));
+  if (!workers_.empty()) {
+    std::size_t alive = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t spec_wins = 0;
+    for (const WorkerTelemetry& w : workers_) {
+      if (w.alive) ++alive;
+      reconnects += w.reconnects;
+      spec_wins += w.speculation_wins;
+    }
+    n = std::snprintf(buf, sizeof buf,
+                      " workers_alive=%zu/%zu reconnects=%llu spec_wins=%llu", alive,
+                      workers_.size(), static_cast<unsigned long long>(reconnects),
+                      static_cast<unsigned long long>(spec_wins));
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+std::string SweepTelemetry::to_json(const std::string& scenario, double wall_s) const {
+  std::lock_guard lock(mu_);
+  char buf[512];
+  std::string j = "{\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"scenario\": \"%s\",\n  \"records_total\": %zu,\n"
+                "  \"records_prefilled\": %zu,\n  \"records_done\": %zu,\n"
+                "  \"wall_s\": %.3f",
+                scenario.c_str(), total_jobs_, prefilled_, prefilled_ + delivered_,
+                wall_s);
+  j += buf;
+  if (has_journal_) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"journal\": {\"fsyncs\": %llu, \"fsync_total_ms\": %.3f, "
+                  "\"fsync_max_ms\": %.3f}",
+                  static_cast<unsigned long long>(journal_fsyncs_),
+                  journal_fsync_total_ms_, journal_fsync_max_ms_);
+    j += buf;
+  }
+  j += ",\n  \"workers\": [";
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerTelemetry& w = workers_[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n    {\"endpoint\": \"%s\", \"alive\": %s, \"abandoned\": %s, "
+        "\"records\": %llu, \"inflight\": %u, \"reconnects\": %u, "
+        "\"speculation_wins\": %u, \"heartbeats\": %llu, \"max_silence_ms\": %llu, "
+        "\"reported\": {\"jobs_done\": %u, \"pool_rebuilds\": %u, \"busy_ms\": %llu}}",
+        i == 0 ? "" : ",", w.endpoint.c_str(), w.alive ? "true" : "false",
+        w.abandoned ? "true" : "false", static_cast<unsigned long long>(w.records),
+        w.inflight, w.reconnects, w.speculation_wins,
+        static_cast<unsigned long long>(w.heartbeats),
+        static_cast<unsigned long long>(w.max_silence_ms), w.reported.jobs_done,
+        w.reported.pool_rebuilds, static_cast<unsigned long long>(w.reported.busy_ms));
+    j += buf;
+  }
+  j += workers_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return j;
+}
+
+std::size_t SweepTelemetry::records_done() const {
+  std::lock_guard lock(mu_);
+  return prefilled_ + delivered_;
+}
+
+std::size_t SweepTelemetry::total_jobs() const {
+  std::lock_guard lock(mu_);
+  return total_jobs_;
+}
+
+std::vector<WorkerTelemetry> SweepTelemetry::workers() const {
+  std::lock_guard lock(mu_);
+  return workers_;
+}
+
+}  // namespace bng::obs

@@ -1,0 +1,86 @@
+// Runtime sweep/fleet telemetry: what the dispatcher knows about a sweep
+// while it runs, aggregated from the record sink, the journal writer, and
+// (for the TCP fleet) per-worker liveness and the compact stats frame each
+// worker piggybacks on its 'B' heartbeats.
+//
+// One SweepTelemetry instance is shared by the sweep engine, the executor,
+// and the `--progress` render thread, so every accessor takes the internal
+// mutex — these are control-plane paths (one update per record/heartbeat),
+// never the sim hot path. `--stats-json` serializes the final state.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bng::obs {
+
+/// The stats frame a worker piggybacks on each heartbeat ('B' frames carry
+/// it after the kind byte; an empty payload — pre-telemetry workers — is
+/// still a valid heartbeat).
+struct WorkerStatsFrame {
+  std::uint32_t jobs_done = 0;      ///< records computed this session
+  std::uint32_t pool_rebuilds = 0;  ///< shared-workload pools built
+  std::uint64_t busy_ms = 0;        ///< wall time spent inside run_job
+};
+
+/// Dispatcher-side view of one remote worker.
+struct WorkerTelemetry {
+  std::string endpoint;
+  bool alive = false;
+  bool abandoned = false;          ///< reconnect budget exhausted
+  std::uint64_t records = 0;       ///< records this dispatcher accepted from it
+  std::uint32_t inflight = 0;      ///< jobs currently assigned (0 or 1)
+  std::uint32_t reconnects = 0;    ///< reconnect attempts, lifetime total
+  std::uint32_t speculation_wins = 0;  ///< speculative copies that won the race
+  std::uint64_t heartbeats = 0;    ///< 'B' frames received
+  /// Longest observed silence between frames from this worker, ms. The
+  /// heartbeats are one-way, so a true RTT does not exist at the dispatcher;
+  /// the max inter-frame gap is the honest liveness figure.
+  std::uint64_t max_silence_ms = 0;
+  WorkerStatsFrame reported;       ///< latest piggybacked stats frame
+};
+
+class SweepTelemetry {
+ public:
+  // --- Sweep-level progress (all executors) --------------------------------
+  void start(std::size_t total_jobs, std::size_t prefilled);
+  void on_record_delivered();
+
+  // --- Journal fsync lag ----------------------------------------------------
+  void journal_stats(std::uint64_t fsyncs, double total_ms, double max_ms);
+
+  // --- Fleet worker table (TcpFleetExecutor) --------------------------------
+  /// Size the worker table; called once before dispatch.
+  void init_workers(const std::vector<std::string>& endpoints);
+  /// Overwrite one worker's row (the fleet executor owns the truth and
+  /// pushes snapshots on every state change).
+  void update_worker(std::size_t index, const WorkerTelemetry& w);
+
+  // --- Consumers ------------------------------------------------------------
+  /// One parseable line for `--progress`:
+  ///   [progress] records=3/8 workers_alive=2/2 reconnects=0 spec_wins=0
+  /// (the workers fields are omitted when no fleet is attached).
+  [[nodiscard]] std::string progress_line() const;
+
+  /// End-of-sweep JSON report for `--stats-json`.
+  [[nodiscard]] std::string to_json(const std::string& scenario, double wall_s) const;
+
+  [[nodiscard]] std::size_t records_done() const;
+  [[nodiscard]] std::size_t total_jobs() const;
+  [[nodiscard]] std::vector<WorkerTelemetry> workers() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t total_jobs_ = 0;
+  std::size_t prefilled_ = 0;
+  std::size_t delivered_ = 0;
+  std::uint64_t journal_fsyncs_ = 0;
+  double journal_fsync_total_ms_ = 0;
+  double journal_fsync_max_ms_ = 0;
+  bool has_journal_ = false;
+  std::vector<WorkerTelemetry> workers_;
+};
+
+}  // namespace bng::obs

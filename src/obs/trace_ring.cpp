@@ -1,0 +1,115 @@
+#include "obs/trace_ring.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bng::obs {
+
+std::uint32_t parse_trace_mask(std::string_view spec) {
+  std::uint32_t mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? spec.size() : comma;
+    const std::string_view token = spec.substr(pos, end - pos);
+    if (token == "blocks") {
+      mask |= kTraceBlocks;
+    } else if (token == "adversary") {
+      mask |= kTraceAdversary;
+    } else if (token == "events") {
+      mask |= kTraceEvents;
+    } else if (token == "all") {
+      mask |= kTraceBlocks | kTraceAdversary | kTraceEvents;
+    } else if (!token.empty()) {
+      throw std::invalid_argument("unknown trace category '" + std::string(token) +
+                                  "' (expected blocks, adversary, events, or all)");
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  if (mask == 0)
+    throw std::invalid_argument("empty trace category list");
+  return mask;
+}
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::kGenerate:
+      return "generate";
+    case TraceKind::kAccept:
+      return "accept";
+    case TraceKind::kDeliver:
+      return "deliver";
+    case TraceKind::kWithhold:
+      return "withhold";
+    case TraceKind::kRelease:
+      return "release";
+    case TraceKind::kAbandon:
+      return "abandon";
+    case TraceKind::kPoison:
+      return "poison";
+    case TraceKind::kFraud:
+      return "fraud";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::uint32_t mask, std::size_t capacity)
+    : mask_(mask), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::record(std::uint32_t category, TraceKind kind, NodeId node,
+                       BlockId block, BlockId parent, NodeId from) {
+  if (!wants(category)) return;
+  TraceEvent ev;
+  ev.at = now_ ? now_() : 0.0;
+  ev.kind = kind;
+  ev.node = node;
+  ev.block = block;
+  ev.parent = parent;
+  ev.from = from;
+  ++total_;
+  if (buf_.size() < capacity_) {
+    buf_.push_back(ev);
+    return;
+  }
+  // Full: overwrite the oldest slot (next_ walks the ring).
+  buf_[next_] = ev;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  // Oldest first: once the ring wrapped, next_ points at the oldest slot.
+  for (std::size_t i = 0; i < buf_.size(); ++i)
+    out.push_back(buf_[(next_ + i) % buf_.size()]);
+  return out;
+}
+
+void TraceRing::clear() {
+  buf_.clear();
+  next_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+}
+
+void TraceRing::emit_jsonl(std::string& out, std::uint32_t point,
+                           std::uint32_t ordinal) const {
+  char line[192];
+  for (const TraceEvent& ev : events()) {
+    const long long block = ev.block == kNoBlockId ? -1 : static_cast<long long>(ev.block);
+    const long long parent =
+        ev.parent == kNoBlockId ? -1 : static_cast<long long>(ev.parent);
+    const long long node = ev.node == kNoNode ? -1 : static_cast<long long>(ev.node);
+    const long long from = ev.from == kNoNode ? -1 : static_cast<long long>(ev.from);
+    std::snprintf(line, sizeof line,
+                  "{\"point\":%u,\"ordinal\":%u,\"at\":%.6f,\"kind\":\"%s\","
+                  "\"node\":%lld,\"block\":%lld,\"parent\":%lld,\"from\":%lld}\n",
+                  point, ordinal, ev.at, trace_kind_name(ev.kind), node, block, parent,
+                  from);
+    out += line;
+  }
+}
+
+}  // namespace bng::obs

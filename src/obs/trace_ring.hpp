@@ -1,0 +1,99 @@
+// Bounded sim-time trace ring (ROADMAP item 4's forensics substrate): when
+// attached to an experiment (off by default — a null pointer on the hot
+// path), nodes and adversary strategies record block accept/withhold/
+// release/poison decisions with causal parent links. The ring keeps the
+// last `capacity` events and counts what it dropped, so a pathological run
+// cannot balloon memory; `ngsim --trace events|blocks|adversary` drains it
+// to JSONL tagged with the job identity.
+//
+// Purely observational by construction: recording reads sim state but never
+// mutates it, takes no RNG draws, and schedules nothing — a traced run's
+// determinism digest is bit-identical to an untraced one (pinned by
+// tests/obs/test_trace_ring.cpp and the CI byte-diff).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/intern.hpp"
+#include "common/types.hpp"
+
+namespace bng::obs {
+
+/// Category bitmask, selected per-run by `--trace`.
+inline constexpr std::uint32_t kTraceBlocks = 1u << 0;     ///< generate/accept
+inline constexpr std::uint32_t kTraceAdversary = 1u << 1;  ///< withhold/release/poison/fraud
+inline constexpr std::uint32_t kTraceEvents = 1u << 2;     ///< per-node block delivery
+
+/// Parse a comma-separated category list ("blocks,adversary"); throws
+/// std::invalid_argument naming the bad token.
+[[nodiscard]] std::uint32_t parse_trace_mask(std::string_view spec);
+
+enum class TraceKind : std::uint8_t {
+  kGenerate,  ///< a miner/leader produced a block           [blocks]
+  kAccept,    ///< a node inserted a block into its tree     [blocks]
+  kDeliver,   ///< a block body arrived at a node            [events]
+  kWithhold,  ///< adversary kept an own win private         [adversary]
+  kRelease,   ///< adversary published a withheld block      [adversary]
+  kAbandon,   ///< adversary dropped its private chain       [adversary]
+  kPoison,    ///< a poison tx was placed in a microblock    [adversary]
+  kFraud,     ///< equivocation evidence detected            [adversary]
+};
+
+[[nodiscard]] const char* trace_kind_name(TraceKind k);
+
+struct TraceEvent {
+  double at = 0;  ///< sim time
+  TraceKind kind = TraceKind::kAccept;
+  NodeId node = kNoNode;       ///< acting node
+  BlockId block = kNoBlockId;  ///< subject block (interned id)
+  BlockId parent = kNoBlockId; ///< causal parent link, if known
+  NodeId from = kNoNode;       ///< peer the block came from (accept/deliver)
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::uint32_t mask, std::size_t capacity = 1u << 16);
+
+  /// The hot-path gate: callers check this before building an event, so a
+  /// category that is off costs one load and a branch.
+  [[nodiscard]] bool wants(std::uint32_t category) const {
+    return (mask_ & category) != 0;
+  }
+  [[nodiscard]] std::uint32_t mask() const { return mask_; }
+
+  /// The experiment installs its event-queue clock so recorders deep in the
+  /// protocol stack (withholding strategy, poison placement) need no time
+  /// plumbing of their own.
+  void set_clock(std::function<double()> now) { now_ = std::move(now); }
+
+  void record(std::uint32_t category, TraceKind kind, NodeId node, BlockId block,
+              BlockId parent = kNoBlockId, NodeId from = kNoNode);
+
+  /// Events currently held, oldest first (at most `capacity`).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Append one JSONL line per held event, tagged with the job identity:
+  ///   {"point":0,"ordinal":1,"at":12.5,"kind":"accept","node":3,
+  ///    "block":17,"parent":16,"from":2}
+  /// kNoBlockId/kNoNode fields are emitted as -1.
+  void emit_jsonl(std::string& out, std::uint32_t point, std::uint32_t ordinal) const;
+
+ private:
+  std::uint32_t mask_;
+  std::size_t capacity_;
+  std::function<double()> now_;
+  std::vector<TraceEvent> buf_;  ///< ring storage
+  std::size_t next_ = 0;         ///< overwrite cursor once full
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bng::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/pool.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace bng::protocol {
 
@@ -72,6 +73,9 @@ void BaseNode::handle_block_msg(NodeId from, const BlockMessage& msg) {
   requested_.erase(id);
   if (known_.contains(id)) return;
   known_.insert(id);
+  if (cfg_.trace != nullptr && cfg_.trace->wants(obs::kTraceEvents))
+    cfg_.trace->record(obs::kTraceEvents, obs::TraceKind::kDeliver, id_, id, kNoBlockId,
+                       from);
   // Model verification cost on this node's CPU, then hand to the protocol.
   const Seconds cost =
       cfg_.verify_fixed +
@@ -104,6 +108,13 @@ std::uint32_t BaseNode::accept_block(const chain::BlockPtr& block, BlockId id, N
   if (cfg_.workload_mode == WorkloadMode::kFullMempool) {
     const std::uint32_t new_tip = tree_.best_tip();
     if (new_tip != old_tip) update_mempool_for_tip_change(old_tip, new_tip);
+  }
+  if (cfg_.trace != nullptr && cfg_.trace->wants(obs::kTraceBlocks)) {
+    const std::int32_t pidx = tree_.entry(index).parent;
+    cfg_.trace->record(obs::kTraceBlocks, obs::TraceKind::kAccept, id_, id,
+                       pidx >= 0 ? tree_.entry(static_cast<std::uint32_t>(pidx)).id
+                                 : kNoBlockId,
+                       from);
   }
   if (should_relay(index)) announce(id, from);
   after_accept(block, index, old_tip);

@@ -22,6 +22,10 @@
 #include "protocol/messages.hpp"
 #include "protocol/observer.hpp"
 
+namespace bng::obs {
+class TraceRing;
+}
+
 namespace bng::protocol {
 
 /// Pre-generated synthetic transaction pool shared by all nodes
@@ -54,6 +58,10 @@ struct NodeConfig {
   bool verify_signatures = false;
   WorkloadMode workload_mode = WorkloadMode::kSynthetic;
   const SyntheticWorkload* workload = nullptr;  ///< required in kSynthetic mode
+  /// Optional decision trace (obs/trace_ring.hpp). Null in every normal run:
+  /// the traced paths pay one pointer test, nothing more. Recording never
+  /// mutates sim state, so traced and untraced runs are bit-identical.
+  obs::TraceRing* trace = nullptr;
 };
 
 class BaseNode : public net::INode {

@@ -27,7 +27,9 @@ class SelfishNode : public Base {
               WithholdingStrategy::Mode mode = WithholdingStrategy::Mode::kSm1)
       : Base(id, net, std::move(genesis), selfish_config(std::move(cfg)), rng, observer),
         strategy_(this->tree_, [this](BlockId block) { this->announce(block, this->id_); },
-                  mode) {}
+                  mode) {
+    strategy_.set_trace(this->cfg_.trace, id);
+  }
 
   /// Mines on the *private* chain and withholds the block (SM1).
   void on_mining_win(double work) override {

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace_ring.hpp"
+
 namespace bng::protocol {
+
+namespace {
+void trace_decision(obs::TraceRing* ring, obs::TraceKind kind, NodeId self, BlockId id) {
+  if (ring != nullptr && ring->wants(obs::kTraceAdversary))
+    ring->record(obs::kTraceAdversary, kind, self, id);
+}
+}  // namespace
 
 WithholdingStrategy::WithholdingStrategy(const chain::BlockTree& tree,
                                          std::function<void(BlockId)> publish, Mode mode)
@@ -19,6 +28,7 @@ void WithholdingStrategy::begin_own_win() { processing_own_win_ = true; }
 void WithholdingStrategy::end_own_win() {
   processing_own_win_ = false;
   private_blocks_.push_back(tree_.best_entry().id);
+  trace_decision(trace_ring_, obs::TraceKind::kWithhold, self_, private_blocks_.back());
 
   // State 0' -> win: we were racing head-to-head and just mined on our own
   // branch. SM1 publishes and takes both blocks' rewards; the stubborn
@@ -55,6 +65,7 @@ void WithholdingStrategy::on_accept(std::uint32_t index, bool own) {
     // together with its key block. PoW protocols never reach this branch —
     // own wins only arrive inside the begin/end_own_win bracket.
     private_blocks_.push_back(id);
+    trace_decision(trace_ring_, obs::TraceKind::kWithhold, self_, id);
     return;
   }
 
@@ -101,6 +112,7 @@ void WithholdingStrategy::publish_until(double target_work) {
     if (tree_.entry(idx).chain_work > target_work) break;
     private_blocks_.pop_front();
     ++blocks_published_;
+    trace_decision(trace_ring_, obs::TraceKind::kRelease, self_, id);
     publish_(id);
   }
 }
@@ -111,13 +123,17 @@ void WithholdingStrategy::publish_all() {
     private_blocks_.pop_front();
     if (tree_.contains_id(id)) {
       ++blocks_published_;
+      trace_decision(trace_ring_, obs::TraceKind::kRelease, self_, id);
       publish_(id);
     }
   }
 }
 
 void WithholdingStrategy::abandon_private_chain() {
-  branches_abandoned_ += private_blocks_.empty() ? 0 : 1;
+  if (!private_blocks_.empty()) {
+    ++branches_abandoned_;
+    trace_decision(trace_ring_, obs::TraceKind::kAbandon, self_, private_blocks_.front());
+  }
   private_blocks_.clear();
 }
 

@@ -30,6 +30,10 @@
 #include "chain/block_tree.hpp"
 #include "common/types.hpp"
 
+namespace bng::obs {
+class TraceRing;
+}
+
 namespace bng::protocol {
 
 class WithholdingStrategy {
@@ -72,6 +76,15 @@ class WithholdingStrategy {
   /// revealed through orphan-chasing) one hook too early.
   [[nodiscard]] bool suppress_relay(std::uint32_t index, bool own) const;
 
+  /// Mirror withhold/release/abandon decisions into a decision trace
+  /// (obs/trace_ring.hpp). `self` labels the events with the host node's id.
+  /// Null (the default) disables mirroring; recording never changes strategy
+  /// state, so traced and untraced runs are bit-identical.
+  void set_trace(obs::TraceRing* trace, NodeId self) {
+    trace_ring_ = trace;
+    self_ = self;
+  }
+
   [[nodiscard]] std::size_t withheld() const { return private_blocks_.size(); }
   [[nodiscard]] std::uint64_t blocks_published() const { return blocks_published_; }
   [[nodiscard]] std::uint64_t branches_abandoned() const { return branches_abandoned_; }
@@ -100,6 +113,8 @@ class WithholdingStrategy {
   double race_work_ = 0;
   std::uint64_t blocks_published_ = 0;
   std::uint64_t branches_abandoned_ = 0;
+  obs::TraceRing* trace_ring_ = nullptr;
+  NodeId self_ = kNoNode;
 };
 
 }  // namespace bng::protocol

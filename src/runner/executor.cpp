@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace_ring.hpp"
 #include "sim/experiment.hpp"
 
 namespace bng::runner {
@@ -20,10 +21,12 @@ void throw_if_interrupted() {
 
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
-                  std::shared_ptr<const sim::PrebuiltWorkload> pool) {
+                  std::shared_ptr<const sim::PrebuiltWorkload> pool,
+                  obs::TraceRing* trace) {
   sim::ExperimentConfig cfg = point.config;
   cfg.seed = job_seed(scenario.seed_base, point_index, ordinal);
   cfg.shared_workload = std::move(pool);
+  cfg.trace = trace;
 
   sim::Experiment exp(std::move(cfg));
   NamedValues hook_values;
@@ -90,8 +93,16 @@ class ThreadPoolExecutor final : public Executor {
       }
       // run_job scopes the experiment, so it is destroyed on this worker
       // thread before the pool refcount below is released.
-      sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                   ordinal, st.pool));
+      if (plan.trace_mask != 0) {
+        obs::TraceRing ring(plan.trace_mask);
+        sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
+                     ordinal, st.pool, &ring));
+        if (plan.trace_sink)
+          plan.trace_sink(static_cast<std::uint32_t>(p), ordinal, ring);
+      } else {
+        sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
+                     ordinal, st.pool));
+      }
       if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();
     };
 

@@ -27,6 +27,10 @@
 #include "runner/record.hpp"
 #include "runner/scenario.hpp"
 
+namespace bng::obs {
+class TraceRing;
+}
+
 namespace bng::runner {
 
 /// What an executor needs to run a sweep. `points` must be expand(scenario)
@@ -41,6 +45,18 @@ struct ExecutionPlan {
   /// point * seeds + ordinal — recovered from a journal. Null or empty:
   /// nothing done. Executors skip these without running or delivering them.
   const std::vector<std::uint8_t>* done = nullptr;
+  /// Decision-trace categories (obs/trace_ring.hpp bit mask). 0 (default):
+  /// tracing fully disabled — no ring is allocated and run_job receives
+  /// null. Non-zero is only supported by the in-process thread executor;
+  /// process-pool and fleet executors reject it (the rings would live in
+  /// other processes).
+  std::uint32_t trace_mask = 0;
+  /// Called once per traced job, after its record is delivered, with the
+  /// job's ring (drained after the call returns). May run on worker threads
+  /// concurrently — the sink synchronizes its own output.
+  std::function<void(std::uint32_t point, std::uint32_t ordinal,
+                     const obs::TraceRing& ring)>
+      trace_sink;
 };
 
 /// Whether the plan says this job already has its record (resume).
@@ -97,10 +113,13 @@ std::unique_ptr<Executor> make_process_pool_executor(ProcessPoolOptions options)
 
 /// Run one job. The shared pool may be null (the experiment then builds its
 /// own workload). Pure function of its arguments — every executor and the
-/// worker process funnel through this.
+/// worker process funnel through this. `trace` (optional) receives the
+/// experiment's decision trace; recording is observational, so the record —
+/// digest included — is bit-identical with and without it.
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
-                  std::shared_ptr<const sim::PrebuiltWorkload> pool);
+                  std::shared_ptr<const sim::PrebuiltWorkload> pool,
+                  obs::TraceRing* trace = nullptr);
 
 /// Entry point of the `ngsim --worker` mode: speak the worker protocol over
 /// the given fds (stdin/stdout when exec'd) until EOF. Returns the process

@@ -4,7 +4,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -217,12 +219,19 @@ void JournalWriter::append(const RunRecord& record) {
 
 void JournalWriter::flush() {
   if (buf_.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
   if (!io::write_all(fd_, buf_))
     throw std::runtime_error("journal: write to " + path_ + " failed: " +
                              std::strerror(errno));
   if (::fsync(fd_) != 0)
     throw std::runtime_error("journal: fsync of " + path_ + " failed: " +
                              std::strerror(errno));
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++stats_.fsyncs;
+  stats_.fsync_total_ms += ms;
+  stats_.fsync_max_ms = std::max(stats_.fsync_max_ms, ms);
   buf_.clear();
   buffered_records_ = 0;
 }

@@ -98,6 +98,15 @@ class JournalWriter {
   /// Write out and fsync everything buffered. Throws on I/O failure.
   void flush();
 
+  /// Durability-cost accounting: how many fsync batches this writer paid for
+  /// and how long they took (the sweep telemetry's "journal fsync lag").
+  struct Stats {
+    std::uint64_t fsyncs = 0;
+    double fsync_total_ms = 0;
+    double fsync_max_ms = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   static constexpr std::uint32_t kFsyncBatch = 8;
 
  private:
@@ -105,6 +114,7 @@ class JournalWriter {
   int fd_ = -1;
   std::string buf_;
   std::uint32_t buffered_records_ = 0;
+  Stats stats_;
 };
 
 }  // namespace bng::runner

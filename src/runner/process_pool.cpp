@@ -61,6 +61,9 @@ class ProcessPoolExecutor final : public Executor {
       throw std::invalid_argument(
           "process-pool execution needs a shippable scenario (a registered name or a "
           "scenario file); this scenario was built programmatically");
+    if (plan.trace_mask != 0)
+      throw std::invalid_argument(
+          "process pool: decision tracing requires the in-process executor");
     const ScenarioSource& source = *plan.scenario.source;
     seed_base_ = plan.scenario.seed_base;
 

@@ -2,21 +2,83 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "obs/telemetry.hpp"
+#include "obs/trace_ring.hpp"
 #include "runner/executor.hpp"
 #include "runner/journal.hpp"
 #include "runner/tcp_fleet.hpp"
 
 namespace bng::runner {
 
+namespace {
+
+/// Background stderr progress reporter: one line every ~500 ms plus a final
+/// line on stop. Cosmetic only — it never touches sweep results.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(const obs::SweepTelemetry& telemetry)
+      : telemetry_(telemetry), thread_([this] { loop(); }) {}
+
+  ~ProgressReporter() {
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    emit();  // final state, always printed (sweeps can finish in < 500 ms)
+  }
+
+ private:
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (!stop_) {
+      emit();
+      cv_.wait_for(lock, std::chrono::milliseconds(500), [this] { return stop_; });
+    }
+  }
+
+  void emit() {
+    const std::string line = telemetry_.progress_line();
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+
+  const obs::SweepTelemetry& telemetry_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
+
+  if (options.trace_mask != 0) {
+    if (options.procs > 0 || !options.hosts.empty())
+      throw std::runtime_error(
+          "run_sweep: --trace requires the in-process executor (no --procs/--hosts)");
+    if (options.trace_path.empty())
+      throw std::runtime_error("run_sweep: trace_mask set but trace_path empty");
+  }
 
   const std::vector<SweepPoint> points = expand(scenario);
   const std::uint32_t seeds = std::max<std::uint32_t>(options.seeds, 1);
   const std::size_t n_jobs = points.size() * static_cast<std::size_t>(seeds);
+
+  // Telemetry: caller-provided, or a local instance when only --progress
+  // needs one. Null `tel` disables all accounting.
+  obs::SweepTelemetry local_telemetry;
+  obs::SweepTelemetry* tel = options.telemetry;
+  if (tel == nullptr && options.progress) tel = &local_telemetry;
 
   SweepResult result;
   result.scenario = scenario.name;
@@ -80,17 +142,39 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
     }
     result.points[rec.point].seeds[rec.ordinal] = std::move(rec);
     delivered.fetch_add(1, std::memory_order_relaxed);
+    if (tel != nullptr) tel->on_record_delivered();
   };
 
-  const ExecutionPlan plan{scenario, points, seeds, options.share_workload,
-                           done.empty() ? nullptr : &done};
+  if (tel != nullptr) tel->start(n_jobs, prefilled);
+
+  // Decision-trace output: one JSONL stream shared by all worker threads.
+  std::ofstream trace_out;
+  std::mutex trace_mu;
+  ExecutionPlan plan{scenario, points, seeds, options.share_workload,
+                     done.empty() ? nullptr : &done};
+  plan.trace_mask = options.trace_mask;
+  if (options.trace_mask != 0) {
+    trace_out.open(options.trace_path, std::ios::trunc);
+    if (!trace_out)
+      throw std::runtime_error("run_sweep: cannot open trace file " +
+                               options.trace_path);
+    plan.trace_sink = [&](std::uint32_t point, std::uint32_t ordinal,
+                          const obs::TraceRing& ring) {
+      std::string lines;
+      ring.emit_jsonl(lines, point, ordinal);
+      std::lock_guard lock(trace_mu);
+      trace_out << lines;
+    };
+  }
   const std::size_t holes = n_jobs - prefilled;
   if (holes > 0) {
     std::unique_ptr<Executor> executor;
     if (!options.hosts.empty()) {
+      if (tel != nullptr) tel->init_workers(options.hosts);
       TcpFleetOptions fopt;
       fopt.hosts = options.hosts;
       fopt.tuning = options.fleet;
+      fopt.telemetry = tel;
       fopt.test_kill_host0_after_jobs = options.test_kill_worker0_after_jobs;
       fopt.test_hang_host0_after_jobs = options.test_hang_host0_after_jobs;
       fopt.test_sever_host0_after_records = options.test_sever_host0_after_records;
@@ -106,6 +190,9 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
       executor = make_thread_executor(options.jobs);
     }
     try {
+      std::unique_ptr<ProgressReporter> reporter;
+      if (options.progress && tel != nullptr)
+        reporter = std::make_unique<ProgressReporter>(*tel);
       result.jobs = executor->run(plan, sink);
     } catch (...) {
       // Everything acknowledged so far survives the failure — SIGINT and
@@ -117,6 +204,10 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
     result.jobs = 1;  // fully resumed: nothing dispatched
   }
   if (journal) journal->flush();
+  if (journal && tel != nullptr) {
+    const JournalWriter::Stats js = journal->stats();
+    tel->journal_stats(js.fsyncs, js.fsync_total_ms, js.fsync_max_ms);
+  }
 
   if (delivered.load(std::memory_order_relaxed) != holes)
     throw std::runtime_error("run_sweep: executor lost records (" +

@@ -21,6 +21,10 @@
 #include "runner/scenario.hpp"
 #include "runner/tcp_fleet.hpp"
 
+namespace bng::obs {
+class SweepTelemetry;
+}
+
 namespace bng::runner {
 
 struct SweepOptions {
@@ -52,6 +56,24 @@ struct SweepOptions {
   /// uninterrupted run.
   std::string journal_path;
   bool resume = false;
+
+  /// Runtime telemetry (obs/telemetry.hpp). When set, run_sweep feeds it job
+  /// counts, journal fsync stats, and (with `hosts`) per-worker fleet state.
+  /// Non-owning; null disables all accounting.
+  obs::SweepTelemetry* telemetry = nullptr;
+  /// Render a one-line progress report to stderr every ~500 ms (plus one
+  /// final line). Purely cosmetic: sweep artifacts are byte-identical with
+  /// and without it.
+  bool progress = false;
+
+  /// Decision-trace categories (obs/trace_ring.hpp mask; 0 = off). Only the
+  /// in-process thread executor supports tracing — run_sweep rejects a
+  /// non-zero mask combined with `procs` or `hosts`.
+  std::uint32_t trace_mask = 0;
+  /// Where the per-job trace JSONL goes when trace_mask != 0 (required then).
+  /// Line order across jobs is scheduling-dependent under jobs > 1; every
+  /// line carries its (point, ordinal) identity.
+  std::string trace_path;
 
   /// Test hook (see ProcessPoolOptions::kill_worker0_after_jobs); with
   /// `hosts` it becomes the fleet's kill-host0 hook.

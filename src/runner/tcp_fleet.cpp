@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "runner/io_util.hpp"
 #include "runner/record_codec.hpp"
 #include "runner/worker_protocol.hpp"
@@ -128,11 +129,22 @@ struct RemoteWorker {
   bool abandoned = false;  ///< reconnect budget exhausted
   std::string buf;
   std::optional<std::size_t> inflight;  ///< job index
+  /// True when the in-flight job is a speculative duplicate (straggler
+  /// policy) — if its record lands first, that is a speculation win.
+  bool speculative = false;
   std::uint64_t last_heard_ms = 0;
   std::uint64_t job_started_ms = 0;
   std::uint32_t reconnects = 0;  ///< consecutive reconnect attempts; reset on a record
   std::uint64_t next_reconnect_ms = 0;
   std::uint32_t records_seen = 0;
+  std::string last_error;  ///< most recent connect failure, for diagnostics
+
+  // Telemetry accumulators (reported through obs::SweepTelemetry).
+  std::uint32_t total_reconnects = 0;  ///< lifetime, never reset
+  std::uint32_t speculation_wins = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t max_silence_ms = 0;
+  obs::WorkerStatsFrame reported;  ///< latest piggybacked stats frame
 };
 
 class TcpFleetExecutor final : public Executor {
@@ -149,6 +161,9 @@ class TcpFleetExecutor final : public Executor {
       throw std::invalid_argument(
           "tcp fleet execution needs a shippable scenario (a registered name or a "
           "scenario file); this scenario was built programmatically");
+    if (plan.trace_mask != 0)
+      throw std::invalid_argument(
+          "tcp fleet: decision tracing requires the in-process executor");
     seed_base_ = plan.scenario.seed_base;
     seeds_ = plan.seeds;
     n_points_ = plan.points.size();
@@ -178,8 +193,22 @@ class TcpFleetExecutor final : public Executor {
 
     try {
       const std::uint64_t start = now_ms();
-      for (RemoteWorker& w : workers_)
-        if (!try_connect(w, plan, start)) schedule_reconnect(w, start);
+      bool any_alive = false;
+      for (RemoteWorker& w : workers_) {
+        if (try_connect(w, plan, start))
+          any_alive = true;
+        else
+          schedule_reconnect(w, start);
+      }
+      if (!any_alive) {
+        // Fail fast: zero reachable hosts is a configuration error (a typo'd
+        // endpoint, workers not started), not a transient fault worth a full
+        // reconnect budget. Name every host and what its connect said.
+        std::string msg = "tcp fleet: no --hosts endpoint is reachable:";
+        for (const RemoteWorker& w : workers_)
+          msg += "\n  " + w.spec + " (" + w.last_error + ")";
+        throw std::runtime_error(msg);
+      }
 
       std::size_t completed = 0;
       while (completed < n_pending) {
@@ -190,13 +219,16 @@ class TcpFleetExecutor final : public Executor {
         dispatch(now);
         ensure_progress(completed, n_pending);
         poll_io(plan, sink, completed, n_pending);
+        publish_telemetry();
       }
     } catch (...) {
+      publish_telemetry();
       close_all();
       throw;
     }
 
-    close_all();  // orderly EOF: workers return to their accept loop
+    publish_telemetry();  // final snapshot shows end-of-sweep liveness
+    close_all();          // orderly EOF: workers return to their accept loop
     return static_cast<std::uint32_t>(workers_.size());
   }
 
@@ -212,15 +244,15 @@ class TcpFleetExecutor final : public Executor {
     return hooks;
   }
 
-  /// Connect + handshake. True on success.
+  /// Connect + handshake. True on success; failure reason in w.last_error.
   bool try_connect(RemoteWorker& w, const ExecutionPlan& plan, std::uint64_t now) {
-    std::string error;
     const int fd =
-        connect_with_timeout(w.endpoint, opt_.tuning.connect_timeout_ms, error);
+        connect_with_timeout(w.endpoint, opt_.tuning.connect_timeout_ms, w.last_error);
     if (fd < 0) return false;
     const std::size_t index = static_cast<std::size_t>(&w - workers_.data());
     if (!send_frame(fd, handshake_payload(*plan.scenario.source, plan.share_workload,
                                           hooks_for(index), opt_.tuning.heartbeat_ms))) {
+      w.last_error = "handshake send failed";
       ::close(fd);
       return false;
     }
@@ -228,6 +260,7 @@ class TcpFleetExecutor final : public Executor {
     w.alive = true;
     w.buf.clear();
     w.inflight.reset();
+    w.speculative = false;
     w.last_heard_ms = now;
     w.next_reconnect_ms = 0;
     return true;
@@ -257,6 +290,7 @@ class TcpFleetExecutor final : public Executor {
           now < w.next_reconnect_ms)
         continue;
       ++w.reconnects;
+      ++w.total_reconnects;
       if (!try_connect(w, plan, now)) schedule_reconnect(w, now);
     }
   }
@@ -308,7 +342,7 @@ class TcpFleetExecutor final : public Executor {
         best_elapsed = elapsed;
       }
       if (best_job == SIZE_MAX) return;
-      assign(idle, best_job, now);  // failure just leaves the original copy
+      assign(idle, best_job, now, /*speculative=*/true);  // failure leaves the original
     }
   }
 
@@ -319,7 +353,8 @@ class TcpFleetExecutor final : public Executor {
     return n;
   }
 
-  bool assign(RemoteWorker& w, std::size_t job, std::uint64_t now) {
+  bool assign(RemoteWorker& w, std::size_t job, std::uint64_t now,
+              bool speculative = false) {
     const auto point = static_cast<std::uint32_t>(job / seeds_);
     const auto ordinal = static_cast<std::uint32_t>(job % seeds_);
     if (!send_frame(w.fd, job_payload(point, ordinal))) {
@@ -327,6 +362,7 @@ class TcpFleetExecutor final : public Executor {
       return false;
     }
     w.inflight = job;
+    w.speculative = speculative;
     w.job_started_ms = now;
     return true;
   }
@@ -339,9 +375,31 @@ class TcpFleetExecutor final : public Executor {
     if (w.inflight) {
       const std::size_t job = *w.inflight;
       w.inflight.reset();
+      w.speculative = false;
       requeue(job);
     }
     schedule_reconnect(w, now);
+  }
+
+  /// Push a snapshot of every worker into the attached telemetry (no-op
+  /// without one). Control-plane cost: one mutex round per poll tick.
+  void publish_telemetry() const {
+    if (opt_.telemetry == nullptr) return;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const RemoteWorker& w = workers_[i];
+      obs::WorkerTelemetry t;
+      t.endpoint = w.spec;
+      t.alive = w.alive;
+      t.abandoned = w.abandoned;
+      t.records = w.records_seen;
+      t.inflight = w.inflight ? 1 : 0;
+      t.reconnects = w.total_reconnects;
+      t.speculation_wins = w.speculation_wins;
+      t.heartbeats = w.heartbeats;
+      t.max_silence_ms = w.max_silence_ms;
+      t.reported = w.reported;
+      opt_.telemetry->update_worker(i, t);
+    }
   }
 
   void requeue(std::size_t job) {
@@ -400,6 +458,8 @@ class TcpFleetExecutor final : public Executor {
       if (!w.alive) continue;  // disconnected earlier in this pass
       switch (io::recv_some(w.fd, w.buf)) {
         case io::ReadResult::kData:
+          if (now - w.last_heard_ms > w.max_silence_ms)
+            w.max_silence_ms = now - w.last_heard_ms;
           w.last_heard_ms = now;
           drain_frames(w, plan, sink, completed, now);
           if (completed >= n_pending) return;
@@ -419,8 +479,14 @@ class TcpFleetExecutor final : public Executor {
       if (payload.empty())
         throw std::runtime_error("tcp fleet: empty frame from " + w.spec);
       switch (static_cast<FrameKind>(payload[0])) {
-        case FrameKind::kHeartbeat:
-          break;  // the bytes themselves already refreshed last_heard_ms
+        case FrameKind::kHeartbeat: {
+          // The bytes themselves already refreshed last_heard_ms; a stats
+          // frame may ride along (older workers send the bare kind byte).
+          ++w.heartbeats;
+          wire::Reader in{payload, 1};
+          if (const auto stats = parse_heartbeat_stats(in)) w.reported = *stats;
+          break;
+        }
         case FrameKind::kRecord:
           handle_record(w, std::string_view(payload).substr(1), plan, sink, completed,
                         now);
@@ -444,13 +510,16 @@ class TcpFleetExecutor final : public Executor {
     if (!w.inflight || *w.inflight != job)
       throw std::runtime_error("tcp fleet: record for a job " + w.spec +
                                " was not assigned");
+    const bool was_speculative = w.speculative;
     w.inflight.reset();
+    w.speculative = false;
     w.reconnects = 0;  // delivered work proves the host healthy again
     ++w.records_seen;
 
     if (job_state_[job] != JobState::kDone) {
       job_state_[job] = JobState::kDone;
       ++completed;
+      if (was_speculative) ++w.speculation_wins;
       sink(std::move(rec));
       ++records_delivered_;
       if (opt_.test_interrupt_after_records >= 0 &&
@@ -530,14 +599,17 @@ void serve_session(int fd) {
               // job still proves it is alive — the dispatcher's deadline,
               // not its heartbeat timeout, is what judges slow jobs.
               const std::uint32_t interval = st.heartbeat_ms;
-              heartbeat = std::thread([&send, &hb_mu, &hb_cv, &hb_stop, interval] {
+              // &st is safe: st outlives the thread (stop_heartbeat joins
+              // before serve_session returns), and the stats fields it reads
+              // are atomics.
+              heartbeat = std::thread([&st, &send, &hb_mu, &hb_cv, &hb_stop, interval] {
                 std::unique_lock lock(hb_mu);
                 for (;;) {
                   if (hb_cv.wait_for(lock, std::chrono::milliseconds(interval),
                                      [&] { return hb_stop; }))
                     return;
                   lock.unlock();
-                  const bool ok = send(heartbeat_payload());
+                  const bool ok = send(heartbeat_payload(st.stats_frame()));
                   lock.lock();
                   if (!ok) return;
                 }

@@ -31,6 +31,10 @@
 
 #include "runner/executor.hpp"
 
+namespace bng::obs {
+class SweepTelemetry;
+}
+
 namespace bng::runner {
 
 struct FleetTuning {
@@ -56,6 +60,10 @@ struct FleetTuning {
 struct TcpFleetOptions {
   std::vector<std::string> hosts;  ///< "host:port" worker endpoints
   FleetTuning tuning;
+  /// Non-owning; when set, the executor pushes per-worker snapshots
+  /// (liveness, reconnects, speculation wins, piggybacked worker stats) into
+  /// it as the sweep runs — the source of `--progress` / `--stats-json`.
+  obs::SweepTelemetry* telemetry = nullptr;
   /// Test hook: ship a kill-after order in every handshake to hosts[0] (the
   /// worker SIGKILLs itself when handed its (n+1)-th job). Negative: off.
   int test_kill_host0_after_jobs = -1;

@@ -3,6 +3,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <stdexcept>
 
 #include "runner/executor.hpp"
@@ -49,6 +50,24 @@ std::string heartbeat_payload() {
   return std::string(1, static_cast<char>(FrameKind::kHeartbeat));
 }
 
+std::string heartbeat_payload(const obs::WorkerStatsFrame& stats) {
+  std::string p;
+  p.push_back(static_cast<char>(FrameKind::kHeartbeat));
+  put_u32(p, stats.jobs_done);
+  put_u32(p, stats.pool_rebuilds);
+  wire::put_u64(p, stats.busy_ms);
+  return p;
+}
+
+std::optional<obs::WorkerStatsFrame> parse_heartbeat_stats(wire::Reader& in) {
+  if (in.pos >= in.data.size()) return std::nullopt;  // bare beacon
+  obs::WorkerStatsFrame f;
+  f.jobs_done = in.u32();
+  f.pool_rebuilds = in.u32();
+  f.busy_ms = in.u64();
+  return f;
+}
+
 void worker_handshake(WorkerState& st, wire::Reader& in) {
   const std::uint16_t version = in.u16();
   if (version != kRecordCodecVersion)
@@ -88,15 +107,23 @@ bool worker_job(WorkerState& st, wire::Reader& in, const SendPayload& send) {
     // beating, so only a per-job deadline can catch this worker.
     for (;;) ::usleep(50'000);
   }
+  const auto t0 = std::chrono::steady_clock::now();
   if (st.share_workload && (!st.pool || st.pool_point != point)) {
     // Seed-independent pure function of the point config (see the thread
     // executor): rebuilt pools are bit-identical across workers.
     st.pool = sim::build_shared_workload(st.points[point].config);
     st.pool_point = point;
+    st.pool_rebuilds.fetch_add(1, std::memory_order_relaxed);
   }
   RunRecord rec = run_job(*st.scenario, st.points[point], point, ordinal,
                           st.share_workload ? st.pool : nullptr);
-  ++st.jobs_done;
+  st.jobs_done.fetch_add(1, std::memory_order_relaxed);
+  st.busy_ms.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()),
+      std::memory_order_relaxed);
   std::string payload;
   payload.push_back(static_cast<char>(FrameKind::kRecord));
   payload += encode_record(rec);

@@ -14,7 +14,12 @@
 //   dispatcher -> worker  'J' u32 point, u32 ordinal
 //   worker -> dispatcher  'R' encode_record() bytes
 //   worker -> dispatcher  'E' utf-8 error message (fatal; dispatcher rethrows)
-//   worker -> dispatcher  'B' heartbeat (no payload beyond the kind byte)
+//   worker -> dispatcher  'B' heartbeat. Optionally followed by a compact
+//                             stats frame: u32 jobs_done, u32 pool_rebuilds,
+//                             u64 busy_ms. A bare kind byte is still a valid
+//                             beacon (old workers), and dispatchers ignore
+//                             payload they don't expect (old dispatchers) —
+//                             the piggyback is compatible in both directions.
 //
 // The worker rebuilds the scenario from its shippable source (the registry
 // for builtins, the key=value grammar for inline text), re-expands the sweep
@@ -22,6 +27,7 @@
 // thread pool — so a record computed anywhere is bit-identical.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -30,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "runner/record_codec.hpp"
 #include "runner/scenario.hpp"
 
@@ -58,6 +65,13 @@ struct WorkerHooks {
 [[nodiscard]] std::string job_payload(std::uint32_t point, std::uint32_t ordinal);
 [[nodiscard]] std::string error_payload(std::string_view message);
 [[nodiscard]] std::string heartbeat_payload();
+/// Heartbeat carrying the worker's self-reported stats (see the 'B' frame
+/// doc above).
+[[nodiscard]] std::string heartbeat_payload(const obs::WorkerStatsFrame& stats);
+/// Parse a 'B' payload (cursor past the kind byte). Returns std::nullopt for
+/// a bare beacon with no stats.
+[[nodiscard]] std::optional<obs::WorkerStatsFrame> parse_heartbeat_stats(
+    wire::Reader& in);
 
 /// How a worker sends one framed payload back to its dispatcher. Returns
 /// false when the dispatcher is gone (the worker should wind down). The TCP
@@ -73,7 +87,20 @@ struct WorkerState {
   bool share_workload = true;
   WorkerHooks hooks;
   std::uint32_t heartbeat_ms = 0;
-  std::uint32_t jobs_done = 0;
+  // Self-reported stats, piggybacked on heartbeats. Atomics because the TCP
+  // worker's heartbeat thread snapshots them while the session thread runs
+  // jobs; the process-pool worker is single-threaded and pays nothing.
+  std::atomic<std::uint32_t> jobs_done{0};
+  std::atomic<std::uint32_t> pool_rebuilds{0};
+  std::atomic<std::uint64_t> busy_ms{0};
+
+  [[nodiscard]] obs::WorkerStatsFrame stats_frame() const {
+    obs::WorkerStatsFrame f;
+    f.jobs_done = jobs_done.load(std::memory_order_relaxed);
+    f.pool_rebuilds = pool_rebuilds.load(std::memory_order_relaxed);
+    f.busy_ms = busy_ms.load(std::memory_order_relaxed);
+    return f;
+  }
   // One pool is cached at a time: the dispatcher hands a worker consecutive
   // seeds of the same point when it can, and the pool is a seed-independent
   // pure function of the point, so rebuilt pools stay bit-identical anyway.

@@ -8,6 +8,7 @@
 #include "ghost/ghost_node.hpp"
 #include "ng/malicious_leader.hpp"
 #include "ng/ng_node.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/miner_distribution.hpp"
 
 namespace bng::sim {
@@ -94,6 +95,10 @@ void Experiment::build_nodes() {
 
   // Share the deployment-wide interner so global-tree and node-tree ids agree.
   trace_ = std::make_unique<TraceRecorder>(genesis_, network_->interner());
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->set_clock([this] { return queue_.now(); });
+    trace_->set_ring(cfg_.trace);
+  }
 
   const AdversarySpec& adv = cfg_.adversary;
   if (adv.active() && adv.node >= cfg_.num_nodes)
@@ -129,6 +134,7 @@ void Experiment::build_nodes() {
     ncfg.verify_signatures = cfg_.verify_signatures;
     ncfg.workload_mode = cfg_.workload_mode;
     ncfg.workload = &workload();
+    ncfg.trace = cfg_.trace;
     // Gamma: honest nodes adopt the attacker's equal-work branch with this
     // probability on a tie (the adversary's own tie-break is forced to
     // first-seen by selfish_config, so only honest nodes see it).

@@ -19,6 +19,10 @@
 #include "sim/mining_scheduler.hpp"
 #include "sim/trace.hpp"
 
+namespace bng::obs {
+class TraceRing;
+}
+
 namespace bng::sim {
 
 /// Declarative adversary: which attack one node runs, how much mining power
@@ -137,6 +141,15 @@ struct ExperimentConfig {
   };
   /// Scheduled connectivity changes, applied during run().
   std::vector<ChurnEvent> churn;
+
+  // --- Observability (escape hatch, like node_factory: non-owning, never
+  // serialized) --------------------------------------------------------------
+  /// When set, every node and adversary strategy records its block
+  /// accept/withhold/poison decisions here (obs/trace_ring.hpp). Null (the
+  /// default) costs one pointer test on the traced paths and nothing else;
+  /// recording is purely observational, so the determinism digest is
+  /// bit-identical either way.
+  obs::TraceRing* trace = nullptr;
 
   // --- Workload sharing ------------------------------------------------------
   /// If set, use this pre-built pool instead of generating one. Must have

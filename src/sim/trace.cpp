@@ -1,5 +1,7 @@
 #include "sim/trace.hpp"
 
+#include "obs/trace_ring.hpp"
+
 namespace bng::sim {
 
 namespace {
@@ -24,10 +26,16 @@ void TraceRecorder::on_block_generated(const chain::BlockPtr& block, NodeId mine
   // A miner can only extend a block that exists, so the parent is always
   // already present in the reference tree.
   if (!tree_.contains_id(id)) tree_.insert(block, id, at, block->work());
+  if (ring_ != nullptr && ring_->wants(obs::kTraceBlocks))
+    ring_->record(obs::kTraceBlocks, obs::TraceKind::kGenerate, miner, id,
+                  tree_.interner().lookup(block->header().prev));
 }
 
 void TraceRecorder::on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) {
   frauds_.push_back(FraudEvent{detector, accused, at});
+  if (ring_ != nullptr && ring_->wants(obs::kTraceAdversary))
+    ring_->record(obs::kTraceAdversary, obs::TraceKind::kFraud, detector,
+                  tree_.interner().lookup(accused));
 }
 
 std::optional<std::size_t> TraceRecorder::find(const Hash256& id) const {

@@ -19,6 +19,10 @@
 #include "common/types.hpp"
 #include "protocol/observer.hpp"
 
+namespace bng::obs {
+class TraceRing;
+}
+
 namespace bng::sim {
 
 class TraceRecorder : public protocol::IBlockObserver {
@@ -45,6 +49,10 @@ class TraceRecorder : public protocol::IBlockObserver {
   void on_block_generated(const chain::BlockPtr& block, NodeId miner, Seconds at) override;
   void on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) override;
 
+  /// Mirror generation/fraud events into a decision trace (obs/trace_ring.hpp).
+  /// Null (the default) disables mirroring at the cost of one pointer test.
+  void set_ring(obs::TraceRing* ring) { ring_ = ring; }
+
   [[nodiscard]] const std::vector<Generated>& generated() const { return generated_; }
   [[nodiscard]] const std::vector<FraudEvent>& frauds() const { return frauds_; }
 
@@ -66,6 +74,7 @@ class TraceRecorder : public protocol::IBlockObserver {
   chain::BlockTree tree_;
   std::uint64_t pow_blocks_ = 0;
   std::uint64_t micro_blocks_ = 0;
+  obs::TraceRing* ring_ = nullptr;
 };
 
 }  // namespace bng::sim

@@ -1,0 +1,136 @@
+// The decision-trace ring's two contracts: (1) recording is purely
+// observational — a traced job's RunRecord, digest included, is
+// byte-identical to an untraced one, and with the mask off not a single
+// event is built; (2) the ring is bounded — a pathological run overwrites
+// the oldest events and counts the drops instead of growing.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+
+#include "obs/trace_ring.hpp"
+#include "runner/executor.hpp"
+#include "runner/record_codec.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::obs {
+namespace {
+
+/// Tiny Bitcoin sweep (1 point), registered like the executor tests' minis.
+runner::Scenario make_trace_mini(const runner::RunKnobs&) {
+  runner::Scenario s;
+  s.name = "trace_mini";
+  s.description = "trace-ring unit-test sweep";
+  s.seed_base = 911;
+  s.base.num_nodes = 12;
+  s.base.target_blocks = 4;
+  s.base.drain_time = 20;
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.max_block_size = 4000;
+  s.base.params.block_interval = 10;
+  return s;
+}
+
+runner::Scenario registered_trace_mini() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    runner::register_scenario("trace_mini", "trace-ring unit-test sweep",
+                              make_trace_mini);
+  });
+  auto s = runner::make_scenario("trace_mini", runner::RunKnobs{12, 4});
+  EXPECT_TRUE(s.has_value());
+  return *s;
+}
+
+TEST(TraceRing, ParseMask) {
+  EXPECT_EQ(parse_trace_mask("blocks"), kTraceBlocks);
+  EXPECT_EQ(parse_trace_mask("adversary"), kTraceAdversary);
+  EXPECT_EQ(parse_trace_mask("events"), kTraceEvents);
+  EXPECT_EQ(parse_trace_mask("blocks,adversary"), kTraceBlocks | kTraceAdversary);
+  EXPECT_EQ(parse_trace_mask("all"), kTraceBlocks | kTraceAdversary | kTraceEvents);
+  EXPECT_THROW((void)parse_trace_mask("bogus"), std::invalid_argument);
+  EXPECT_THROW((void)parse_trace_mask(""), std::invalid_argument);
+}
+
+TEST(TraceRing, TracedRunIsByteIdenticalToUntraced) {
+  const runner::Scenario scenario = registered_trace_mini();
+  const auto points = runner::expand(scenario);
+  ASSERT_EQ(points.size(), 1u);
+
+  const runner::RunRecord plain =
+      runner::run_job(scenario, points[0], 0, 0, nullptr);
+
+  TraceRing ring(kTraceBlocks | kTraceAdversary | kTraceEvents);
+  const runner::RunRecord traced =
+      runner::run_job(scenario, points[0], 0, 0, nullptr, &ring);
+
+  // Observational by construction: same digest, same serialized bytes.
+  EXPECT_EQ(traced.digest, plain.digest);
+  EXPECT_EQ(runner::encode_record(traced), runner::encode_record(plain));
+
+  // And the ring actually saw the run: every accepted block produces one
+  // generate (miner side) and one accept per node.
+  EXPECT_GT(ring.total_recorded(), 0u);
+  bool saw_generate = false, saw_accept = false, saw_deliver = false;
+  for (const TraceEvent& ev : ring.events()) {
+    saw_generate |= ev.kind == TraceKind::kGenerate;
+    saw_accept |= ev.kind == TraceKind::kAccept;
+    saw_deliver |= ev.kind == TraceKind::kDeliver;
+  }
+  EXPECT_TRUE(saw_generate);
+  EXPECT_TRUE(saw_accept);
+  EXPECT_TRUE(saw_deliver);
+}
+
+TEST(TraceRing, MaskOffRecordsNothing) {
+  const runner::Scenario scenario = registered_trace_mini();
+  const auto points = runner::expand(scenario);
+
+  TraceRing ring(0);
+  const runner::RunRecord plain =
+      runner::run_job(scenario, points[0], 0, 0, nullptr);
+  const runner::RunRecord gated =
+      runner::run_job(scenario, points[0], 0, 0, nullptr, &ring);
+
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(runner::encode_record(gated), runner::encode_record(plain));
+}
+
+TEST(TraceRing, BoundedWithDropAccounting) {
+  TraceRing ring(kTraceBlocks, /*capacity=*/4);
+  for (BlockId b = 0; b < 10; ++b)
+    ring.record(kTraceBlocks, TraceKind::kAccept, 1, b, b == 0 ? kNoBlockId : b - 1);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // Oldest-first drain holds the last four events.
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().block, 6u);
+  EXPECT_EQ(events.back().block, 9u);
+
+  // record() itself enforces the category gate.
+  ring.record(kTraceAdversary, TraceKind::kWithhold, 1, 11);
+  EXPECT_EQ(ring.total_recorded(), 10u);
+}
+
+TEST(TraceRing, EmitJsonlFormat) {
+  TraceRing ring(kTraceBlocks);
+  double t = 2.5;
+  ring.set_clock([&t] { return t; });
+  ring.record(kTraceBlocks, TraceKind::kGenerate, 3, 17, kNoBlockId);
+  t = 4.0;
+  ring.record(kTraceBlocks, TraceKind::kAccept, 5, 17, 16, 3);
+
+  std::string out;
+  ring.emit_jsonl(out, /*point=*/2, /*ordinal=*/1);
+  EXPECT_EQ(out,
+            "{\"point\":2,\"ordinal\":1,\"at\":2.500000,\"kind\":\"generate\","
+            "\"node\":3,\"block\":17,\"parent\":-1,\"from\":-1}\n"
+            "{\"point\":2,\"ordinal\":1,\"at\":4.000000,\"kind\":\"accept\","
+            "\"node\":5,\"block\":17,\"parent\":16,\"from\":3}\n");
+}
+
+}  // namespace
+}  // namespace bng::obs

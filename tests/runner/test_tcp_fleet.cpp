@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/telemetry.hpp"
 #include "runner/emit.hpp"
 #include "runner/executor.hpp"
 #include "runner/journal.hpp"
@@ -244,6 +245,60 @@ TEST(TcpFleet, AllWorkersLostFailsFastInsteadOfHanging) {
     EXPECT_NE(std::string(e.what()).find("no live workers"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(TcpFleet, ZeroReachableHostsFailsFastNamingEachEndpoint) {
+  // Nothing is listening on either endpoint: the sweep must fail during the
+  // initial connect pass — before any dispatch state exists — and the error
+  // must name every endpoint with its connect errno, not just "no workers".
+  const Scenario s = registered_fleet_mini();
+  FleetTuning tuning = test_tuning();
+  tuning.connect_timeout_ms = 500;
+  try {
+    run_sweep(s, fleet_options(2, {"127.0.0.1:1", "127.0.0.1:2"}, tuning));
+    FAIL() << "expected a no-reachable-endpoint failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no --hosts endpoint is reachable"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("127.0.0.1:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("127.0.0.1:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("refused"), std::string::npos) << what;  // errno text
+  }
+}
+
+TEST(TcpFleet, TelemetryAccountsForEveryRecordAndWorker) {
+  // The dispatcher's telemetry is bookkeeping over the same record stream the
+  // artifacts are built from, so its totals must balance exactly: every job
+  // delivered, every record attributed to the worker that computed it.
+  const Scenario s = registered_fleet_mini();
+  ServeWorker a, b;
+  SweepOptions opt =
+      fleet_options(4, {a.endpoint(), b.endpoint()}, test_tuning());
+  obs::SweepTelemetry telemetry;
+  opt.telemetry = &telemetry;
+  const SweepResult result = run_sweep(s, opt);
+
+  const std::size_t n_jobs = result.points.size() * 4;
+  EXPECT_EQ(telemetry.total_jobs(), n_jobs);
+  EXPECT_EQ(telemetry.records_done(), n_jobs);
+
+  const auto workers = telemetry.workers();
+  ASSERT_EQ(workers.size(), 2u);
+  std::uint64_t attributed = 0;
+  for (const auto& w : workers) {
+    EXPECT_TRUE(w.alive) << w.endpoint;
+    EXPECT_FALSE(w.abandoned) << w.endpoint;
+    EXPECT_EQ(w.inflight, 0u) << w.endpoint;
+    attributed += w.records;
+  }
+  EXPECT_EQ(attributed, n_jobs);
+
+  const std::string json = telemetry.to_json(s.name, /*wall_s=*/1.0);
+  EXPECT_NE(json.find("\"workers\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"records_done\": " + std::to_string(n_jobs)),
+            std::string::npos)
+      << json;
 }
 
 TEST(TcpFleet, DispatcherDeathIsResumedFromTheJournalBitIdentically) {
