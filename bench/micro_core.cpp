@@ -106,6 +106,26 @@ void BM_EventQueueSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueSteadyState)->Arg(4096);
 
+void BM_EventQueueBucketInsert(benchmark::State& state) {
+  // The calendar layer's O(1) claim: inserts landing inside the active
+  // bucket window (the overwhelmingly common case in a live simulation)
+  // are one multiply + one vector push, no heap sift.
+  net::EventQueue q;
+  std::uint64_t fired = 0;
+  std::uint64_t lcg = 99;
+  for (auto _ : state) {
+    for (int i = 0; i < state.range(0); ++i) {
+      // 10-bit delays scaled to ~1 s: all within the 2048-bucket window.
+      q.schedule_in(static_cast<double>(bench::lcg_next(lcg) >> 54) * 1e-3,
+                    [&fired] { ++fired; });
+    }
+    q.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueBucketInsert)->Arg(4096);
+
 void BM_EventQueueCancel(benchmark::State& state) {
   net::EventQueue q;
   std::vector<std::uint64_t> ids(static_cast<std::size_t>(state.range(0)));
@@ -190,6 +210,45 @@ void BM_NetworkLinkTrainPending(benchmark::State& state) {
   bench::export_registry(state, reg);
 }
 BENCHMARK(BM_NetworkLinkTrainPending)->Args({200, 16})->Args({1000, 16});
+
+void BM_NetworkBurstDrain(benchmark::State& state) {
+  // A deep train on one link: the first send rides the idle-link direct
+  // path, and once its delivery fires every queued message behind it should
+  // drain in the same callback (nothing else is due). The counters pin both
+  // fast paths — a change that silently disables either one shows up as a
+  // hard zero here, not as a slow timing drift.
+  const int train = static_cast<int>(state.range(0));
+  Rng rng(42);
+  net::EventQueue q;
+  net::Topology topo = net::Topology::complete(2);
+  net::Network net(q, topo, net::LatencyModel::constant(0.05),
+                   net::LinkParams{100'000.0, 40}, rng);
+  std::vector<bench::BenchSink> sinks(2);
+  for (NodeId i = 0; i < 2; ++i) net.attach(i, &sinks[i]);
+  const auto msg = std::make_shared<bench::BenchMessage>();
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < train; ++i) net.send(0, 1, msg);
+    q.run_all();
+    delivered += static_cast<std::uint64_t>(train);
+  }
+  obs::Registry reg;
+  reg.counter("direct_deliveries", obs::Unit::kCount,
+              "deliveries that rode the idle-link direct path")
+      .inc(net.direct_deliveries());
+  reg.counter("burst_drained", obs::Unit::kCount,
+              "messages delivered by a burst continuation, no scheduler pop")
+      .inc(net.burst_drained());
+  reg.gauge("fast_path_fraction", obs::Unit::kNone,
+            "fraction of deliveries that bypassed the generic pop path")
+      .set(delivered > 0 ? static_cast<double>(net.direct_deliveries() +
+                                               net.burst_drained()) /
+                               static_cast<double>(delivered)
+                         : 0);
+  bench::export_registry(state, reg);
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_NetworkBurstDrain)->Arg(256);
 
 void BM_NetworkSendFaultLayerOverhead(benchmark::State& state) {
   // Witness for the fault layer's zero-cost guarantee: the same gossip burst

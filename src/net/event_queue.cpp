@@ -8,6 +8,10 @@
 
 namespace bng::net {
 
+namespace {
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+}
+
 void EventQueue::grow_slots() { chunks_.push_back(std::make_unique<Slot[]>(kChunkSize)); }
 
 bool EventQueue::cancel(std::uint64_t id) {
@@ -17,7 +21,7 @@ bool EventQueue::cancel(std::uint64_t id) {
   Slot& s = slot(idx);
   if (s.gen != gen || !s.fn) return false;
   // Lazy deletion: invalidate the slot; the queue entry dies when it
-  // surfaces (pop, run rebuild, or compaction).
+  // surfaces (pop, bucket freeze, or compaction).
   ++s.gen;
   s.fn.reset();
   free_slots_.push_back(idx);
@@ -25,49 +29,131 @@ bool EventQueue::cancel(std::uint64_t id) {
   return true;
 }
 
+void EventQueue::route_overflow(const Entry& e) {
+  overflow_.push_back(e);
+  std::push_heap(overflow_.begin(), overflow_.end(), entry_greater);
+}
+
+const EventQueue::Entry* EventQueue::overflow_top() {
+  while (!overflow_.empty()) {
+    const Entry& t = overflow_.front();
+    if (slot(t.slot).gen == t.gen) return &t;
+    std::pop_heap(overflow_.begin(), overflow_.end(), entry_greater);
+    overflow_.pop_back();
+    --stale_;
+  }
+  return nullptr;
+}
+
+bool EventQueue::epoch_restart() {
+  // Pop a bounded sorted batch off the overflow heap. Its span is exactly
+  // the future the next epoch must cover, so the width tunes itself to the
+  // observed inter-event gap — a median-based estimate, so one far outlier
+  // cannot flatten the calendar.
+  scratch_.clear();
+  const std::size_t cap =
+      static_cast<std::size_t>(kBuckets) * static_cast<std::size_t>(kTargetPerBucket);
+  while (scratch_.size() < cap) {
+    const Entry* top = overflow_top();
+    if (top == nullptr) break;
+    scratch_.push_back(*top);
+    std::pop_heap(overflow_.begin(), overflow_.end(), entry_greater);
+    overflow_.pop_back();
+  }
+  if (scratch_.empty()) return false;
+  const Seconds mn = scratch_.front().at;
+  const std::size_t mid = scratch_.size() / 2;
+  double gap = mid > 0 ? (scratch_[mid].at - mn) / static_cast<double>(mid) : 0.0;
+  if (gap <= 0 && scratch_.size() > 1) {
+    gap = (scratch_.back().at - mn) / static_cast<double>(scratch_.size() - 1);
+  }
+  if (gap > 0) {
+    double w = gap * kTargetPerBucket;
+    if (w < kMinWidth) w = kMinWidth;
+    if (w > kMaxWidth) w = kMaxWidth;
+    width_ = w;
+    inv_width_ = 1.0 / w;
+  }
+  origin_ = mn;
+  cur_bucket_ = -1;
+  // Batch entries past the new window (median tuning can leave a tail) fall
+  // straight back into the overflow heap; the minimum lands in bucket 0, so
+  // the restart always makes progress.
+  for (const Entry& e : scratch_) route(e);
+  return true;
+}
+
+void EventQueue::sweep_stale() {
+  for (auto& bucket : buckets_) {
+    if (bucket.empty()) continue;
+    std::size_t kept = 0;
+    for (const Entry& e : bucket) {
+      if (slot(e.slot).gen == e.gen) {
+        bucket[kept++] = e;
+      } else {
+        --stale_;
+        --ring_count_;
+      }
+    }
+    bucket.resize(kept);
+  }
+  std::size_t kept = 0;
+  for (const Entry& e : overflow_) {
+    if (slot(e.slot).gen != e.gen) {
+      --stale_;
+      continue;
+    }
+    overflow_[kept++] = e;
+  }
+  overflow_.resize(kept);
+  std::make_heap(overflow_.begin(), overflow_.end(), entry_greater);
+}
+
 void EventQueue::build_run() {
   run_.clear();
   run_index_ = 0;
   // When mostly tombstones (mass cancellation), one compaction sweep beats
-  // selecting among the dead repeatedly.
-  if (stale_ > 0 && stale_ >= future_.size() / 2) {
-    std::size_t kept = 0;
-    for (const Entry& e : future_) {
-      if (slot(e.slot).gen == e.gen) future_[kept++] = e;
+  // freezing buckets of the dead repeatedly.
+  if (stale_ >= kMinSweep && stale_ >= (ring_count_ + overflow_.size()) / 2) sweep_stale();
+  for (;;) {
+    if (ring_count_ == 0) {
+      if (overflow_.empty()) return;  // queue fully drained
+      if (!epoch_restart()) return;   // overflow was all tombstones
+      continue;
     }
-    stale_ -= future_.size() - kept;
-    future_.resize(kept);
-  }
-  const std::size_t total = future_.size();
-  const std::size_t batch = std::max<std::size_t>(1024, total / 8);
-  std::size_t take = total;
-  if (total > 2 * batch) {
-    take = batch;
-    // Partition: [0, take) holds the `take` order-smallest events.
-    std::nth_element(future_.begin(),
-                     future_.begin() + static_cast<std::ptrdiff_t>(take), future_.end(),
-                     entry_less);
-  }
-  run_.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    const Entry& e = future_[i];
-    if (slot(e.slot).gen == e.gen) {
-      run_.push_back(e);  // live
-    } else {
-      --stale_;
+    std::int64_t b = cur_bucket_ + 1;
+    while (buckets_[ring_slot(b)].empty()) ++b;  // ring_count_ > 0 bounds this
+    // Overflow entries whose bucket is at or before b must merge in before
+    // the window passes them; the heap surfaces exactly the matured ones.
+    bool merged = false;
+    while (const Entry* top = overflow_top()) {
+      if ((top->at - origin_) * inv_width_ >= static_cast<double>(b + 1)) break;
+      const Entry e = *top;
+      std::pop_heap(overflow_.begin(), overflow_.end(), entry_greater);
+      overflow_.pop_back();
+      route(e);  // lands in a ring bucket <= b's window
+      merged = true;
     }
+    if (merged) continue;  // merged entries may occupy an earlier bucket
+    auto& bucket = buckets_[ring_slot(b)];
+    cur_bucket_ = b;
+    ring_count_ -= bucket.size();
+    for (const Entry& e : bucket) {
+      if (slot(e.slot).gen == e.gen) {
+        run_.push_back(e);  // live
+      } else {
+        --stale_;
+      }
+    }
+    bucket.clear();  // keeps capacity for the slot's next lap
+    if (run_.empty()) continue;
+    std::sort(run_.begin(), run_.end(), entry_less);
+    return;
   }
-  // Backfill the consumed prefix from the tail (future_ is unsorted).
-  const std::size_t rest = total - take;
-  const std::size_t tail = std::min(take, rest);
-  std::copy(future_.end() - static_cast<std::ptrdiff_t>(tail), future_.end(),
-            future_.begin());
-  future_.resize(rest);
-  std::sort(run_.begin(), run_.end(), entry_less);
-  if (!run_.empty()) run_max_at_ = run_.back().at;
 }
 
 bool EventQueue::pop_one(Seconds limit) {
+  pop_limit_ = limit;
   for (;;) {
     const bool have_run = run_index_ < run_.size();
     const bool have_near = !near_.empty();
@@ -80,8 +166,9 @@ bool EventQueue::pop_one(Seconds limit) {
       cand = &near_.front();
       from_near = true;
     } else {
-      if (future_.empty()) return false;
+      if (ring_count_ == 0 && overflow_.empty()) return false;
       build_run();
+      if (run_.empty()) return false;  // only tombstones remained
       continue;
     }
 
@@ -123,6 +210,57 @@ bool EventQueue::pop_one(Seconds limit) {
   }
 }
 
+bool EventQueue::consume_if_next(std::uint64_t id) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  // Mirror of pop_one's selection loop: surface the earliest live entry,
+  // retiring tombstones on the way, and consume it only if it is `id`.
+  for (;;) {
+    const bool have_run = run_index_ < run_.size();
+    const bool have_near = !near_.empty();
+    const Entry* cand;
+    bool from_near;
+    if (have_run && (!have_near || entry_less(run_[run_index_], near_.front()))) {
+      cand = &run_[run_index_];
+      from_near = false;
+    } else if (have_near) {
+      cand = &near_.front();
+      from_near = true;
+    } else {
+      if (ring_count_ == 0 && overflow_.empty()) return false;
+      build_run();
+      if (run_.empty()) return false;
+      continue;
+    }
+
+    Slot& s = slot(cand->slot);
+    if (s.gen != cand->gen) {
+      --stale_;
+      if (from_near) {
+        near_pop_top();
+      } else {
+        ++run_index_;
+      }
+      continue;
+    }
+    if (cand->slot != idx || cand->gen != gen) return false;
+    if (cand->at > pop_limit_) return false;
+
+    const Entry e = *cand;
+    if (from_near) {
+      near_pop_top();
+    } else {
+      ++run_index_;
+    }
+    now_ = e.at;
+    ++s.gen;
+    ++executed_;
+    s.fn.reset();  // the caller runs the work inline; the callback never fires
+    free_slots_.push_back(e.slot);
+    return true;
+  }
+}
+
 void EventQueue::run_until(Seconds t_end) {
   while (pop_one(t_end)) {
   }
@@ -130,16 +268,15 @@ void EventQueue::run_until(Seconds t_end) {
 }
 
 void EventQueue::run_all() {
-  constexpr Seconds kNoLimit = std::numeric_limits<Seconds>::infinity();
-  while (pop_one(kNoLimit)) {
+  while (pop_one(kInf)) {
   }
 }
 
-// --- Small 4-ary min-heap for late arrivals inside the run window -----------
+// --- Small 4-ary min-heap for arrivals behind the consuming bucket ----------
 //
-// Holds only events scheduled (after the current run was frozen) for times
-// before the run boundary — typically zero-delay follow-ups. Stays tiny, so
-// sift depth is 1-2 levels.
+// Holds only events scheduled (after their bucket was frozen) for times at
+// or before the current bucket window — typically zero-delay follow-ups.
+// Stays tiny, so sift depth is 1-2 levels.
 
 void EventQueue::near_push(const Entry& e) {
   near_.push_back(e);

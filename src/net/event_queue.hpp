@@ -8,19 +8,26 @@
 //   * Callbacks live in a recycled slot pool; SmallFn keeps the common
 //     lambdas allocation-free, and cancellation is lazy — cancel() bumps the
 //     slot's generation in O(1) and stale entries die when they surface.
-//   * The priority structure is a lazy queue, not a binary heap: new events
-//     append O(1) to an unsorted future pool; consumption takes the next
-//     batch of smallest events (nth_element + sort, contiguous and
-//     branch-predictable) into a sorted run that is then streamed in order.
-//     A small 4-ary heap absorbs the rare event scheduled inside the
-//     current run's window. Amortized cost per event is a couple of linear
-//     passes plus one sort share — far cheaper than pointer-hopping heap
-//     sifts at simulation scale.
+//   * The priority structure is a calendar queue: a ring of kBuckets
+//     fixed-width time buckets covers the near future, so the common insert
+//     (a delivery, a CPU completion, a re-armed link train) is one multiply
+//     and a push_back — O(1), no sift, no sort. Consumption drains one
+//     bucket at a time into a sorted run (buckets hold ~kTargetPerBucket
+//     events, so each sort is tiny). Events beyond the ring spill to an
+//     unsorted overflow pool and are pulled forward in bulk as the window
+//     advances; when the ring drains, the epoch restarts at the overflow
+//     minimum and the bucket width re-tunes itself from the observed
+//     inter-event gap. A small 4-ary heap absorbs the rare event scheduled
+//     behind the bucket currently being consumed.
 //   * Ordering is the total order (at, seq); the structure only changes how
-//     that order is produced, so a run replays identically.
+//     that order is produced, so a run replays identically. All routing
+//     decisions go through one monotone map from time to bucket index
+//     (fixed origin/width per epoch), so an event can never land behind one
+//     that orders after it — boundary cases included.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -34,6 +41,8 @@ namespace bng::net {
 class EventQueue {
  public:
   using Callback = SmallFn;
+
+  EventQueue() : buckets_(kBuckets) {}
 
   /// Current simulated time (seconds).
   [[nodiscard]] Seconds now() const { return now_; }
@@ -54,14 +63,7 @@ class EventQueue {
     }
     Slot& s = slot(idx);
     s.fn.assign(std::forward<F>(fn));
-    const Entry e{at, next_seq_++, idx, s.gen};
-    // Seq is the largest yet, so "at == boundary" orders after the whole
-    // run: only strictly earlier times must jump the unsorted future pool.
-    if (at < run_max_at_) {
-      near_push(e);
-    } else {
-      future_.push_back(e);
-    }
+    route(Entry{at, next_seq_++, idx, s.gen});
     return (static_cast<std::uint64_t>(s.gen) << 32) | idx;
   }
 
@@ -74,6 +76,16 @@ class EventQueue {
   /// Cancel a scheduled event. Returns false if already fired/cancelled.
   bool cancel(std::uint64_t id);
 
+  /// If the event identified by `id` is live AND is the earliest pending
+  /// event (and within the current pop limit), consume it — advance now_ to
+  /// its time, count it as executed, recycle its slot — WITHOUT invoking its
+  /// callback, and return true. The caller then runs the work inline.
+  /// Because ordering is the total order (at, seq), success proves no other
+  /// pending event orders before it, so consuming inline is observationally
+  /// identical to the queue popping it next. Used by Network's burst drains
+  /// to collapse a train of per-link delivery events into one callback.
+  bool consume_if_next(std::uint64_t id);
+
   /// Run until the queue is empty or simulated time exceeds `t_end`.
   /// Events scheduled exactly at `t_end` are executed.
   void run_until(Seconds t_end);
@@ -83,7 +95,7 @@ class EventQueue {
 
   /// Pending event count (cancelled events may be counted until popped).
   [[nodiscard]] std::size_t pending() const {
-    return (run_.size() - run_index_) + near_.size() + future_.size();
+    return (run_.size() - run_index_) + near_.size() + ring_count_ + overflow_.size();
   }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
@@ -117,14 +129,65 @@ class EventQueue {
   static constexpr std::uint32_t kChunkShift = 8;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
 
+  // --- Calendar geometry ----------------------------------------------------
+  // Bucket b covers [origin_ + b*width_, origin_ + (b+1)*width_). The ring
+  // holds buckets (cur_bucket_, cur_bucket_ + kBuckets]; bucket cur_bucket_
+  // is the one whose entries were last frozen into run_, so late arrivals
+  // mapping at or before it go to the near heap. Everything past the ring
+  // sits unsorted in overflow_ until the window slides over it.
+  static constexpr std::int64_t kBuckets = 2048;  ///< power of two (ring mask)
+  static constexpr double kTargetPerBucket = 8.0;
+  static constexpr double kMinWidth = 1e-7;
+  static constexpr double kMaxWidth = 1e7;
+  static constexpr std::size_t kMinSweep = 64;
+
+  static std::size_t ring_slot(std::int64_t b) {
+    return static_cast<std::size_t>(b & (kBuckets - 1));
+  }
+
   Slot& slot(std::uint32_t s) { return chunks_[s >> kChunkShift][s & (kChunkSize - 1)]; }
   void grow_slots();
+
+  static bool entry_greater(const Entry& a, const Entry& b) { return entry_less(b, a); }
+
+  /// Place an entry in near_/ring/overflow_. The bucket index is
+  /// floor((at - origin_) * inv_width_) — one shared monotone map, so
+  /// routing can never reorder two entries across a boundary. Inline: this
+  /// is the schedule_at hot path (one multiply, one compare, one push_back).
+  void route(const Entry& e) {
+    const double q = (e.at - origin_) * inv_width_;
+    if (q < static_cast<double>(cur_bucket_ + kBuckets + 1)) {
+      if (q < static_cast<double>(cur_bucket_ + 1)) {
+        near_push(e);
+        return;
+      }
+      buckets_[ring_slot(static_cast<std::int64_t>(q))].push_back(e);
+      ++ring_count_;
+      return;
+    }
+    route_overflow(e);
+  }
+
+  void route_overflow(const Entry& e);
+
+  /// Earliest live overflow entry (min-heap top), discarding tombstones.
+  const Entry* overflow_top();
 
   /// Fire the earliest event with at <= limit. Returns false if none.
   bool pop_one(Seconds limit);
 
-  /// Move the next batch of smallest future events into the sorted run.
+  /// Freeze the next non-empty bucket into the sorted run (merging matured
+  /// overflow forward / restarting the epoch as needed).
   void build_run();
+
+  /// Ring empty, overflow not: pop a bounded sorted batch off the overflow
+  /// heap, re-anchor the calendar at its minimum, and re-tune the bucket
+  /// width from the batch's median inter-event gap. Returns false if the
+  /// overflow was all tombstones.
+  bool epoch_restart();
+
+  /// Mass-cancellation compaction over ring + overflow.
+  void sweep_stale();
 
   void near_push(const Entry& e);
   void near_pop_top();
@@ -133,22 +196,32 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
 
-  // Invariant: while the current run (plus its near-heap) is being consumed,
-  // every event in future_ orders strictly after the run boundary
-  // (run_max_at_, max seq), so pop only compares the run head with the near
-  // top. New events route by "at < run_max_at_" — their seq is always the
-  // largest yet, so an event at exactly the boundary time orders after it.
   std::vector<Entry> run_;     ///< sorted ascending by (at, seq)
   std::size_t run_index_ = 0;  ///< next unconsumed run entry
-  Seconds run_max_at_ = 0;     ///< boundary time; see invariant above
-  std::vector<Entry> near_;    ///< 4-ary min-heap: late arrivals before the boundary
-  std::vector<Entry> future_;  ///< unsorted; everything after the boundary
+  std::vector<Entry> near_;    ///< 4-ary min-heap: arrivals behind cur_bucket_
+
+  double origin_ = 0;          ///< epoch anchor (bucket 0 starts here)
+  double width_ = 0.002;       ///< bucket width, seconds (re-tuned per epoch)
+  double inv_width_ = 500.0;   ///< 1 / width_, the hot-path multiplier
+  std::int64_t cur_bucket_ = -1;  ///< bucket last frozen into run_
+  std::vector<std::vector<Entry>> buckets_;  ///< ring, indexed by b & (kBuckets-1)
+  std::size_t ring_count_ = 0;               ///< live+stale entries in the ring
+  /// Beyond the ring window: a binary min-heap by (at, seq). Far-future
+  /// inserts are rare by construction (the ring absorbs the near term), so
+  /// the O(log n) push is off the hot path, and the heap makes both the
+  /// window-slide merge and the epoch restart exact — no full scans.
+  std::vector<Entry> overflow_;
+  std::vector<Entry> scratch_;  ///< epoch_restart's pop buffer (reused)
+
+  /// Limit of the pop in progress; consume_if_next honors it so a burst
+  /// drain can never run past the caller's run_until horizon.
+  Seconds pop_limit_ = std::numeric_limits<Seconds>::infinity();
 
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t num_slots_ = 0;
   std::vector<std::uint32_t> free_slots_;
-  /// Tombstones still sitting in run_/near_/future_; lets build_run() decide
-  /// when a compaction sweep of the future pool pays for itself.
+  /// Tombstones still sitting in run_/near_/ring/overflow_; lets build_run()
+  /// decide when a compaction sweep pays for itself.
   std::size_t stale_ = 0;
 };
 

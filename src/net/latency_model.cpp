@@ -18,6 +18,16 @@ LatencyModel LatencyModel::default_internet() {
   });
 }
 
+LatencyModel LatencyModel::intra_cluster() {
+  // Regional one-way delays: mostly a few ms, occasional congested tail.
+  return LatencyModel({
+      {0.001, 0.005, 0.35},
+      {0.005, 0.015, 0.40},
+      {0.015, 0.040, 0.20},
+      {0.040, 0.100, 0.05},
+  });
+}
+
 LatencyModel LatencyModel::constant(Seconds latency) {
   return LatencyModel({{latency, latency, 1.0}});
 }

@@ -27,6 +27,12 @@ class LatencyModel {
   /// Histogram resembling one-way delays of the 2015 Bitcoin network.
   static LatencyModel default_internet();
 
+  /// Short-haul histogram for links inside one region/AS cluster (same
+  /// continent, often same metro): ~1-40 ms with a small tail. Pairs with
+  /// Topology::clustered(), where default_internet() keeps modelling the
+  /// cross-cluster trunks.
+  static LatencyModel intra_cluster();
+
   /// Uniform latency (useful for tests and idealized-network analyses).
   static LatencyModel constant(Seconds latency);
 

@@ -6,11 +6,12 @@
 namespace bng::net {
 
 Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
-                 LinkParams params, Rng& rng)
+                 LinkParams params, Rng& rng, const LatencyModel* intra)
     : queue_(queue),
       topology_(topology),
       params_(params),
-      interner_(std::make_shared<BlockInterner>()) {
+      interner_(std::make_shared<BlockInterner>()),
+      node_state_(std::make_shared<NodeStateArena>(topology.num_nodes())) {
   const std::uint32_t n = topology_.num_nodes();
   handlers_.resize(n, nullptr);
   offline_.resize(n, false);
@@ -32,6 +33,8 @@ Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel
   busy_until_.resize(offset_[n], 0);
   fifo_.resize(offset_[n]);
   blocked_.resize(offset_[n], 0);
+  direct_.resize(offset_[n], 0);
+  last_arrival_.resize(offset_[n], 0);
 
   // Draw a symmetric latency per undirected edge, once, like the paper's
   // fixed per-pair assignment. Iteration order matches the pre-CSR
@@ -39,7 +42,14 @@ Network::Network(EventQueue& queue, const Topology& topology, const LatencyModel
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b : topology_.peers(a)) {
       if (a < b) {
-        const Seconds sample = latency.sample(rng);
+        // Clustered overlays give same-cluster edges the short-haul model;
+        // with intra unset this selects `latency` unconditionally and the
+        // draw sequence matches the flat implementation exactly.
+        const LatencyModel& model =
+            (intra != nullptr && topology_.cluster_of(a) == topology_.cluster_of(b))
+                ? *intra
+                : latency;
+        const Seconds sample = model.sample(rng);
         latency_[find_edge(a, b)] = sample;
         latency_[find_edge(b, a)] = sample;
       }
@@ -96,47 +106,89 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   // Event train: only the idle->busy transition touches the event queue; a
   // busy link just grows its FIFO (delivery re-arms on pop).
   LinkFifo& f = fifo_[e];
-  const bool was_empty = f.empty();
+  const bool idle = direct_[e] == 0 && f.empty();
+  ++in_flight_;
+  if (idle) {
+    // Idle-link fast path: no FIFO round-trip — the delivery event carries
+    // the message. Scheduled at the same time with the same seq the
+    // FIFO-head event would have had, so runs replay identically.
+    ++active_links_;
+    direct_[e] = 1;
+    last_arrival_[e] = arrival;
+    queue_.schedule_at(arrival, DeliverDirect{this, e, std::move(msg)});
+    return;
+  }
   // A link delivers in order. With constant latency arrivals are naturally
   // monotone; a mid-flight latency *decrease* (a healing fault window) would
-  // let a later message compute an earlier arrival, so clamp to the queue
-  // tail — head-of-line blocking, exactly what store-and-forward does.
-  if (!was_empty) arrival = std::max(arrival, f.q.back().arrival);
+  // let a later message compute an earlier arrival, so clamp to the link's
+  // latest arrival — head-of-line blocking, exactly what store-and-forward
+  // does.
+  arrival = std::max(arrival, last_arrival_[e]);
+  last_arrival_[e] = arrival;
   f.q.push_back(InFlight{arrival, std::move(msg)});
-  ++in_flight_;
-  if (was_empty) {
-    ++active_links_;
-    queue_.schedule_at(arrival, DeliverHead{this, e});
-  }
 }
 
-void Network::deliver_head(std::uint32_t e) {
-  LinkFifo& f = fifo_[e];
-  MessagePtr msg = std::move(f.q[f.head].msg);
-  ++f.head;
-  --in_flight_;
-  if (f.empty()) {
-    f.q.clear();
-    f.head = 0;
-    --active_links_;
-  } else {
-    // Compact the delivered prefix once it dominates the vector, so a link
-    // that never fully drains holds O(in-flight) slots, not O(total ever
-    // sent). Amortized O(1) per message.
-    if (f.head >= 64 && f.head * 2 >= f.q.size()) {
-      f.q.erase(f.q.begin(), f.q.begin() + f.head);
-      f.head = 0;
-    }
-    // Re-arm before delivering: keeps this link's next delivery ahead (in
-    // schedule order) of any events the handler schedules now, matching the
-    // per-message scheduling the train replaced.
-    queue_.schedule_at(f.q[f.head].arrival, DeliverHead{this, e});
-  }
+void Network::dispatch(std::uint32_t e, const MessagePtr& msg) {
   const NodeId to = row_sorted_[e];
   if (offline_[to]) return;
   INode* handler = handlers_[to];
   if (handler == nullptr) throw std::logic_error("Network: message for unattached node");
   handler->on_message(edge_from_[e], msg);
+}
+
+void Network::deliver_direct(std::uint32_t e, const MessagePtr& msg) {
+  LinkFifo& f = fifo_[e];
+  --in_flight_;
+  direct_[e] = 0;
+  ++direct_deliveries_;
+  std::uint64_t rearm = 0;
+  if (f.empty()) {
+    --active_links_;
+  } else {
+    // Messages queued up behind the direct flight: re-arm before delivering
+    // (see drain_train for the ordering discipline).
+    rearm = queue_.schedule_at(f.q[f.head].arrival, DeliverHead{this, e});
+  }
+  dispatch(e, msg);
+  if (rearm != 0 && queue_.consume_if_next(rearm)) {
+    ++burst_drained_;
+    drain_train(e);
+  }
+}
+
+void Network::drain_train(std::uint32_t e) {
+  for (;;) {
+    LinkFifo& f = fifo_[e];
+    MessagePtr msg = std::move(f.q[f.head].msg);
+    ++f.head;
+    --in_flight_;
+    std::uint64_t rearm = 0;
+    if (f.empty()) {
+      f.q.clear();
+      f.head = 0;
+      --active_links_;
+    } else {
+      // Compact the delivered prefix once it dominates the vector, so a link
+      // that never fully drains holds O(in-flight) slots, not O(total ever
+      // sent). Amortized O(1) per message.
+      if (f.head >= 64 && f.head * 2 >= f.q.size()) {
+        f.q.erase(f.q.begin(), f.q.begin() + f.head);
+        f.head = 0;
+      }
+      // Re-arm before delivering: keeps this link's next delivery ahead (in
+      // schedule order) of any events the handler schedules now, matching
+      // the per-message scheduling the train replaced.
+      rearm = queue_.schedule_at(f.q[f.head].arrival, DeliverHead{this, e});
+    }
+    dispatch(e, msg);
+    // Burst drain: if the event we just armed is the queue's next event,
+    // nothing else in the simulation is due before it — consume it and keep
+    // draining inline. consume_if_next advances time and the executed count
+    // exactly as a pop would, and no callback runs between the two points,
+    // so every later seq assignment (hence the digest) is unchanged.
+    if (rearm == 0 || !queue_.consume_if_next(rearm)) return;
+    ++burst_drained_;
+  }
 }
 
 void Network::set_offline(NodeId node, bool offline) { offline_[node] = offline; }

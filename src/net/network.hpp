@@ -20,6 +20,18 @@
 // queued message. The pending-event set is O(active links), not O(in-flight
 // messages) — under a gossip burst that is an order of magnitude smaller.
 //
+// Two delivery fast paths on top of the train (both observationally
+// identical to the one-event-per-message schedule, so digests don't move):
+//   * Idle-link direct delivery: a send onto an idle link carries the
+//     message inside its delivery event (SmallFn inline capture) instead of
+//     round-tripping through the FIFO — the common case in gossip, where
+//     most sends hit an idle link.
+//   * Burst drains: after delivering, if the re-armed delivery event for
+//     this edge is the event queue's next event (EventQueue::consume_if_next
+//     — possible only when nothing else is due first), the train keeps
+//     draining in the same callback, NDN-DPDK style, instead of bouncing
+//     through the scheduler once per message.
+//
 // The Network also owns the experiment-wide BlockInterner: it is the one
 // object every protocol node of a deployment shares, so it is the natural
 // home for the Hash256 -> BlockId assignment that block trees, gossip sets
@@ -31,6 +43,7 @@
 #include <vector>
 
 #include "common/intern.hpp"
+#include "common/node_state.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/event_queue.hpp"
@@ -72,8 +85,12 @@ struct LinkParams {
 
 class Network {
  public:
+  /// `intra`, when set, is the latency model for edges whose endpoints share
+  /// a topology cluster (Topology::clustered); `latency` then covers only
+  /// the cross-cluster trunks. Null keeps the flat single-model assignment
+  /// (and, for a given rng, the byte-identical draw sequence).
   Network(EventQueue& queue, const Topology& topology, const LatencyModel& latency,
-          LinkParams params, Rng& rng);
+          LinkParams params, Rng& rng, const LatencyModel* intra = nullptr);
 
   /// Attach the protocol object for `node`. Must be called for every node
   /// before any message is delivered to it.
@@ -96,6 +113,12 @@ class Network {
   /// this deployment (trees, gossip sets, wire messages).
   [[nodiscard]] const std::shared_ptr<BlockInterner>& interner() const { return interner_; }
 
+  /// The experiment-wide SoA arena of hot per-node protocol state (gossip
+  /// dedupe planes, CPU cursors) — one dense layout for the whole fleet.
+  [[nodiscard]] const std::shared_ptr<NodeStateArena>& node_state() const {
+    return node_state_;
+  }
+
   /// One-way latency of the (a, b) edge; throws if absent.
   [[nodiscard]] Seconds edge_latency(NodeId a, NodeId b) const;
 
@@ -105,8 +128,14 @@ class Network {
 
   /// Messages currently queued on links (sent, not yet delivered).
   [[nodiscard]] std::uint64_t messages_in_flight() const { return in_flight_; }
-  /// Directed links with a non-empty FIFO == scheduled delivery events.
+  /// Directed links with a delivery in flight == scheduled delivery events.
   [[nodiscard]] std::uint32_t active_links() const { return active_links_; }
+  /// Deliveries that rode the idle-link fast path (message carried in the
+  /// event, no FIFO round-trip).
+  [[nodiscard]] std::uint64_t direct_deliveries() const { return direct_deliveries_; }
+  /// Messages delivered by a burst continuation (train drained in the same
+  /// callback instead of a fresh scheduler pop).
+  [[nodiscard]] std::uint64_t burst_drained() const { return burst_drained_; }
 
   /// Partition control (for churn / attack experiments): while a node is
   /// offline its inbound and outbound messages are dropped.
@@ -158,10 +187,24 @@ class Network {
   struct DeliverHead {
     Network* net;
     std::uint32_t edge;
-    void operator()() const { net->deliver_head(edge); }
+    void operator()() const { net->drain_train(edge); }
   };
 
-  void deliver_head(std::uint32_t edge);
+  /// Idle-link fast path: the message rides inside the event (32 bytes,
+  /// within SmallFn's inline buffer), skipping the FIFO entirely.
+  struct DeliverDirect {
+    Network* net;
+    std::uint32_t edge;
+    MessagePtr msg;
+    void operator()() const { net->deliver_direct(edge, msg); }
+  };
+
+  /// Deliver the FIFO head, then keep draining while this edge's re-armed
+  /// delivery event is the queue's next event.
+  void drain_train(std::uint32_t edge);
+  void deliver_direct(std::uint32_t edge, const MessagePtr& msg);
+  /// Hand one arrived message to the receiving node (offline drop here).
+  void dispatch(std::uint32_t edge, const MessagePtr& msg);
 
   /// Directed-edge slot for (from, to): position of `to` in `from`'s sorted
   /// adjacency row, offset by the CSR row start. kNoEdge if absent.
@@ -171,6 +214,7 @@ class Network {
   Topology topology_;
   LinkParams params_;
   std::shared_ptr<BlockInterner> interner_;
+  std::shared_ptr<NodeStateArena> node_state_;
   std::vector<INode*> handlers_;
   std::vector<bool> offline_;
 
@@ -184,11 +228,15 @@ class Network {
   std::vector<Seconds> busy_until_;        // per directed-edge slot (directed)
   std::vector<LinkFifo> fifo_;             // per directed-edge slot
   std::vector<std::uint8_t> blocked_;      // per directed-edge fault depth
+  std::vector<std::uint8_t> direct_;       // 1 while a DeliverDirect is in flight
+  std::vector<Seconds> last_arrival_;      // arrival of the edge's latest send
 
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint32_t active_links_ = 0;
+  std::uint64_t direct_deliveries_ = 0;
+  std::uint64_t burst_drained_ = 0;
 };
 
 }  // namespace bng::net

@@ -22,7 +22,74 @@ Topology Topology::random(std::uint32_t n, std::uint32_t min_degree, Rng& rng) {
       topo.add_edge(a, b);
     }
   }
+  topo.stitch_components();
+  return topo;
+}
+
+Topology Topology::clustered(std::uint32_t n, std::uint32_t clusters,
+                             std::uint32_t min_degree, std::uint32_t trunks, Rng& rng) {
+  if (clusters < 2) return random(n, min_degree, rng);
+  if (n < 2 * clusters)
+    throw std::invalid_argument("Topology: need at least 2 nodes per cluster");
+  Topology topo;
+  topo.adjacency_.resize(n);
+  topo.cluster_.resize(n);
+  topo.num_clusters_ = clusters;
+
+  // Contiguous blocks: cluster c owns [begin[c], begin[c+1]).
+  std::vector<std::uint32_t> begin(clusters + 1);
+  for (std::uint32_t c = 0; c <= clusters; ++c)
+    begin[c] = static_cast<std::uint32_t>(static_cast<std::uint64_t>(n) * c / clusters);
+  for (std::uint32_t c = 0; c < clusters; ++c)
+    for (NodeId v = begin[c]; v < begin[c + 1]; ++v) topo.cluster_[v] = c;
+
+  // Dense intra-cluster graphs, same uniform-pick rule as random().
+  for (NodeId a = 0; a < n; ++a) {
+    const std::uint32_t c = topo.cluster_[a];
+    const std::uint32_t lo = begin[c];
+    const std::uint32_t size = begin[c + 1] - lo;
+    const std::uint32_t want = std::min(min_degree, size - 1);
+    std::uint32_t attempts = 0;
+    while (topo.adjacency_[a].size() < want && attempts < 100 * min_degree + 100) {
+      ++attempts;
+      NodeId b = lo + static_cast<NodeId>(rng.next_below(size));
+      if (b == a || topo.has_edge(a, b)) continue;
+      topo.add_edge(a, b);
+    }
+  }
+
+  // Trunk ring: `trunks` random edges between each adjacent cluster pair.
+  auto pick_in = [&](std::uint32_t c) {
+    return begin[c] + static_cast<NodeId>(rng.next_below(begin[c + 1] - begin[c]));
+  };
+  const std::uint32_t ring_pairs = clusters == 2 ? 1 : clusters;
+  for (std::uint32_t c = 0; c < ring_pairs; ++c) {
+    const std::uint32_t d = (c + 1) % clusters;
+    for (std::uint32_t t = 0; t < trunks; ++t) {
+      const NodeId a = pick_in(c);
+      const NodeId b = pick_in(d);
+      if (!topo.has_edge(a, b)) topo.add_edge(a, b);
+    }
+  }
+  // Random chords shortcut the ring, like long-haul peerings do.
+  if (clusters > 2) {
+    for (std::uint32_t t = 0; t < trunks; ++t) {
+      const std::uint32_t c = static_cast<std::uint32_t>(rng.next_below(clusters));
+      const std::uint32_t d = static_cast<std::uint32_t>(rng.next_below(clusters));
+      if (c == d) continue;
+      const NodeId a = pick_in(c);
+      const NodeId b = pick_in(d);
+      if (!topo.has_edge(a, b)) topo.add_edge(a, b);
+    }
+  }
+
+  topo.stitch_components();
+  return topo;
+}
+
+void Topology::stitch_components() {
   // Stitch components if the graph happens to be disconnected.
+  const std::uint32_t n = num_nodes();
   std::vector<std::uint32_t> component(n, UINT32_MAX);
   std::uint32_t num_components = 0;
   for (NodeId start = 0; start < n; ++start) {
@@ -34,7 +101,7 @@ Topology Topology::random(std::uint32_t n, std::uint32_t min_degree, Rng& rng) {
     while (!frontier.empty()) {
       NodeId u = frontier.front();
       frontier.pop();
-      for (NodeId v : topo.adjacency_[u]) {
+      for (NodeId v : adjacency_[u]) {
         if (component[v] == UINT32_MAX) {
           component[v] = c;
           frontier.push(v);
@@ -43,13 +110,12 @@ Topology Topology::random(std::uint32_t n, std::uint32_t min_degree, Rng& rng) {
     }
   }
   if (num_components > 1) {
-    // Connect a random representative of each extra component to component 0.
+    // Connect a representative of each extra component to component 0.
     std::vector<NodeId> rep(num_components, kNoNode);
     for (NodeId v = 0; v < n; ++v)
       if (rep[component[v]] == kNoNode) rep[component[v]] = v;
-    for (std::uint32_t c = 1; c < num_components; ++c) topo.add_edge(rep[0], rep[c]);
+    for (std::uint32_t c = 1; c < num_components; ++c) add_edge(rep[0], rep[c]);
   }
-  return topo;
 }
 
 Topology Topology::complete(std::uint32_t n) {

@@ -3,6 +3,13 @@
 // Paper §7: "we construct a random network by connecting each node to at
 // least 5 other nodes, chosen uniformly at random". Edges are undirected; a
 // node's degree can exceed the minimum because other nodes choose it too.
+//
+// For 10k+-node scaling runs the flat uniform graph stops being internet-
+// like (its diameter collapses and every edge gets the same latency
+// distribution), so clustered() builds a two-level overlay: dense
+// uniform-random clusters (think regions/ASes) joined by a trunk ring plus
+// random chords, with cluster membership exposed so the Network can assign
+// short intra-cluster and long cross-cluster latencies per edge.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,16 @@ class Topology {
   /// A line topology 0-1-2-...-n-1 (worst-case diameter; for tests).
   static Topology line(std::uint32_t n);
 
+  /// Two-level internet-like overlay: `clusters` contiguous blocks of nodes,
+  /// each an independent uniform-random graph with `min_degree` outbound
+  /// picks per node, joined by `trunks` random edges between each adjacent
+  /// cluster pair on a ring plus `trunks` random chord edges across
+  /// non-adjacent pairs. Guaranteed connected. cluster_of() reports the
+  /// block a node landed in, so latency assignment can distinguish
+  /// intra-cluster from cross-cluster edges.
+  static Topology clustered(std::uint32_t n, std::uint32_t clusters,
+                            std::uint32_t min_degree, std::uint32_t trunks, Rng& rng);
+
   [[nodiscard]] std::uint32_t num_nodes() const {
     return static_cast<std::uint32_t>(adjacency_.size());
   }
@@ -42,10 +59,19 @@ class Topology {
   /// Are a and b direct neighbours?
   [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
 
+  /// Cluster of `node`. Flat topologies are one big cluster 0.
+  [[nodiscard]] std::uint32_t cluster_of(NodeId node) const {
+    return cluster_.empty() ? 0 : cluster_[node];
+  }
+  [[nodiscard]] std::uint32_t num_clusters() const { return num_clusters_; }
+
  private:
   void add_edge(NodeId a, NodeId b);
+  void stitch_components();
 
   std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::uint32_t> cluster_;  ///< empty for flat topologies
+  std::uint32_t num_clusters_ = 1;
 };
 
 }  // namespace bng::net

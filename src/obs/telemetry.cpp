@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace bng::obs {
 
 void SweepTelemetry::start(std::size_t total_jobs, std::size_t prefilled) {
@@ -9,11 +13,32 @@ void SweepTelemetry::start(std::size_t total_jobs, std::size_t prefilled) {
   total_jobs_ = total_jobs;
   prefilled_ = prefilled;
   delivered_ = 0;
+  events_total_ = 0;
+  started_ = std::chrono::steady_clock::now();
 }
 
 void SweepTelemetry::on_record_delivered() {
   std::lock_guard lock(mu_);
   ++delivered_;
+}
+
+void SweepTelemetry::add_events(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  events_total_ += n;
+}
+
+std::uint64_t SweepTelemetry::peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 void SweepTelemetry::journal_stats(std::uint64_t fsyncs, double total_ms,
@@ -45,6 +70,17 @@ std::string SweepTelemetry::progress_line() const {
   int n = std::snprintf(buf, sizeof buf, "[progress] records=%zu/%zu", done,
                         total_jobs_);
   std::string out(buf, static_cast<std::size_t>(n));
+  if (events_total_ > 0) {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started_)
+                               .count();
+    n = std::snprintf(buf, sizeof buf, " events_per_sec=%.3g",
+                      elapsed > 0 ? static_cast<double>(events_total_) / elapsed : 0.0);
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  n = std::snprintf(buf, sizeof buf, " rss_peak_mb=%.1f",
+                    static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+  out.append(buf, static_cast<std::size_t>(n));
   if (!workers_.empty()) {
     std::size_t alive = 0;
     std::uint64_t reconnects = 0;
@@ -73,6 +109,13 @@ std::string SweepTelemetry::to_json(const std::string& scenario, double wall_s) 
                 "  \"wall_s\": %.3f",
                 scenario.c_str(), total_jobs_, prefilled_, prefilled_ + delivered_,
                 wall_s);
+  j += buf;
+  std::snprintf(buf, sizeof buf,
+                ",\n  \"events_executed\": %llu,\n  \"events_per_sec\": %.1f,\n"
+                "  \"rss_peak_mb\": %.1f",
+                static_cast<unsigned long long>(events_total_),
+                wall_s > 0 ? static_cast<double>(events_total_) / wall_s : 0.0,
+                static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
   j += buf;
   if (has_journal_) {
     std::snprintf(buf, sizeof buf,

@@ -9,6 +9,7 @@
 // never the sim hot path. `--stats-json` serializes the final state.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -47,6 +48,15 @@ class SweepTelemetry {
   // --- Sweep-level progress (all executors) --------------------------------
   void start(std::size_t total_jobs, std::size_t prefilled);
   void on_record_delivered();
+  /// Simulation events a finished job executed (EventQueue::events_executed).
+  /// Reported by the in-process thread executor; process/fleet workers run
+  /// their experiments in other address spaces and report 0.
+  void add_events(std::uint64_t n);
+
+  /// Peak resident set of THIS process so far, bytes (getrusage ru_maxrss);
+  /// 0 where unsupported. Free function so callers outside a sweep (the
+  /// runner's final report) can use it too.
+  static std::uint64_t peak_rss_bytes();
 
   // --- Journal fsync lag ----------------------------------------------------
   void journal_stats(std::uint64_t fsyncs, double total_ms, double max_ms);
@@ -60,8 +70,10 @@ class SweepTelemetry {
 
   // --- Consumers ------------------------------------------------------------
   /// One parseable line for `--progress`:
-  ///   [progress] records=3/8 workers_alive=2/2 reconnects=0 spec_wins=0
-  /// (the workers fields are omitted when no fleet is attached).
+  ///   [progress] records=3/8 events_per_sec=1.2e+06 rss_peak_mb=410.2
+  ///   workers_alive=2/2 reconnects=0 spec_wins=0
+  /// (events_per_sec appears once any job reported its executed-event count;
+  /// the workers fields are omitted when no fleet is attached).
   [[nodiscard]] std::string progress_line() const;
 
   /// End-of-sweep JSON report for `--stats-json`.
@@ -76,6 +88,8 @@ class SweepTelemetry {
   std::size_t total_jobs_ = 0;
   std::size_t prefilled_ = 0;
   std::size_t delivered_ = 0;
+  std::uint64_t events_total_ = 0;
+  std::chrono::steady_clock::time_point started_{};
   std::uint64_t journal_fsyncs_ = 0;
   double journal_fsync_total_ms_ = 0;
   double journal_fsync_max_ms_ = 0;

@@ -24,7 +24,9 @@ BaseNode::BaseNode(NodeId id, net::Network& net, chain::BlockPtr genesis, NodeCo
       rng_(rng),
       tree_(std::move(genesis), cfg_.params.tie_break, fork_choice_for(cfg_.params), &rng_,
             net.interner()),
-      observer_(observer) {
+      observer_(observer),
+      known_(*net.node_state(), NodeStateArena::kKnown, id),
+      requested_(*net.node_state(), NodeStateArena::kRequested, id) {
   if (cfg_.workload_mode == WorkloadMode::kSynthetic && cfg_.workload == nullptr)
     throw std::invalid_argument("BaseNode: synthetic mode needs a workload");
   tree_.set_tie_switch_prob(cfg_.params.tie_switch_prob);
@@ -84,9 +86,10 @@ void BaseNode::handle_block_msg(NodeId from, const BlockMessage& msg) {
 }
 
 void BaseNode::process_after(Seconds cost, net::EventQueue::Callback fn) {
-  const Seconds start = std::max(now(), cpu_busy_until_);
-  cpu_busy_until_ = start + cost;
-  net_.queue().schedule_at(cpu_busy_until_, std::move(fn));
+  Seconds& busy = net_.node_state()->cpu_busy(id_);
+  const Seconds start = std::max(now(), busy);
+  busy = start + cost;
+  net_.queue().schedule_at(busy, std::move(fn));
 }
 
 void BaseNode::announce(BlockId id, NodeId except) {

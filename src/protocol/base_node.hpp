@@ -2,10 +2,13 @@
 // for block verification, and mempool/workload bookkeeping.
 //
 // Hot-path state is keyed by interned BlockId (common/intern.hpp), shared
-// experiment-wide through the Network: the seen/requested gossip sets are
-// epoch-stamped flat arrays, the orphan buffer is a small flat vector, and
-// the inv/getdata flow never hashes a Hash256. The block hash is computed
-// and interned exactly once per (node, block) — when the body first arrives.
+// experiment-wide through the Network: the seen/requested gossip sets and
+// the CPU cursor live in the deployment-wide struct-of-arrays
+// NodeStateArena (common/node_state.hpp) — dense planes indexed by
+// (node, id) rather than per-object allocations, so 10k+-node fleets touch
+// flat memory — the orphan buffer is a small flat vector, and the
+// inv/getdata flow never hashes a Hash256. The block hash is computed and
+// interned exactly once per (node, block) — when the body first arrives.
 #pragma once
 
 #include <functional>
@@ -151,8 +154,8 @@ class BaseNode : public net::INode {
     NodeId from;
   };
   std::vector<Orphan> orphans_;
-  FlatIdSet known_;      ///< seen bodies (by interned id)
-  FlatIdSet requested_;  ///< outstanding getdata (by interned id)
+  ArenaIdSet known_;      ///< seen bodies (by interned id; arena plane)
+  ArenaIdSet requested_;  ///< outstanding getdata (by interned id; arena plane)
 
  private:
   void handle_inv(NodeId from, const InvMessage& inv);
@@ -160,8 +163,6 @@ class BaseNode : public net::INode {
   void handle_block_msg(NodeId from, const BlockMessage& msg);
   void resolve_orphans(BlockId parent_id);
   [[nodiscard]] chain::BlockPtr find_block(BlockId id) const;
-
-  Seconds cpu_busy_until_ = 0;
 };
 
 }  // namespace bng::protocol

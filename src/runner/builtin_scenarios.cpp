@@ -105,6 +105,41 @@ Scenario make_fig7(const RunKnobs& knobs) {
   return s;
 }
 
+// --- fig7_10k: propagation latency at 10k+ nodes on a clustered overlay ------
+// The scaling companion to fig7: the same latency-vs-size question asked at
+// internet scale. The overlay is Topology::clustered (regions joined by
+// trunks, short intra-cluster / long cross-cluster latencies) so the answer
+// is not distorted by a flat 10k-node uniform graph's 2-hop diameter.
+Scenario make_fig7_10k(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "fig7_10k";
+  s.description =
+      "fig7 propagation sweep at >=10k nodes on a clustered internet-like overlay";
+  s.seed_base = 710;
+  s.base = paper_base(knobs);
+  s.base.params = chain::Params::bitcoin();
+  s.base.num_nodes = std::max(knobs.nodes, 10'000u);
+  s.base.clusters = std::max(8u, s.base.num_nodes / 1000);
+  s.base.cluster_trunks = 8;
+  s.base.target_blocks = std::max(10u, knobs.blocks / 2);
+  Axis axis{"block_size", {}};
+  for (std::size_t size : {20'000, 60'000, 100'000}) {
+    axis.values.push_back(AxisValue{
+        fmt("%.0fB", static_cast<double>(size)), static_cast<double>(size),
+        [size](sim::ExperimentConfig& cfg) {
+          cfg.params.max_block_size = size;
+          cfg.params.block_interval = static_cast<double>(size) / kPayloadBytesPerSecond;
+        }});
+  }
+  s.axes.push_back(std::move(axis));
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    auto delays = metrics::propagation_delays(exp);
+    v.emplace_back("prop_p50_s", percentile(delays, 50));
+    v.emplace_back("prop_p90_s", percentile(delays, 90));
+  };
+  return s;
+}
+
 // --- fig8a: frequency sweep at constant payload throughput -------------------
 Scenario make_fig8a(const RunKnobs& knobs) {
   Scenario s;
@@ -607,6 +642,7 @@ void register_builtin_scenarios() {
   static constexpr Builtin kBuiltins[] = {
       {"fig6", make_fig6},
       {"fig7", make_fig7},
+      {"fig7_10k", make_fig7_10k},
       {"fig8a", make_fig8a},
       {"fig8b", make_fig8b},
       {"ablation_ghost", make_ablation_ghost},

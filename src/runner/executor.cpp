@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/telemetry.hpp"
 #include "obs/trace_ring.hpp"
 #include "sim/experiment.hpp"
 
@@ -22,7 +23,7 @@ void throw_if_interrupted() {
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
                   std::shared_ptr<const sim::PrebuiltWorkload> pool,
-                  obs::TraceRing* trace) {
+                  obs::TraceRing* trace, std::uint64_t* events_executed) {
   sim::ExperimentConfig cfg = point.config;
   cfg.seed = job_seed(scenario.seed_base, point_index, ordinal);
   cfg.shared_workload = std::move(pool);
@@ -39,6 +40,7 @@ RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
   NamedValues values = standard_metric_values(exp);
   values.insert(values.end(), hook_values.begin(), hook_values.end());
   if (scenario.extra) scenario.extra(exp, values);
+  if (events_executed != nullptr) *events_executed = exp.queue().events_executed();
   return extract_record(exp, std::move(values), point_index, ordinal);
 }
 
@@ -93,16 +95,18 @@ class ThreadPoolExecutor final : public Executor {
       }
       // run_job scopes the experiment, so it is destroyed on this worker
       // thread before the pool refcount below is released.
+      std::uint64_t events = 0;
       if (plan.trace_mask != 0) {
         obs::TraceRing ring(plan.trace_mask);
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool, &ring));
+                     ordinal, st.pool, &ring, &events));
         if (plan.trace_sink)
           plan.trace_sink(static_cast<std::uint32_t>(p), ordinal, ring);
       } else {
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool));
+                     ordinal, st.pool, nullptr, &events));
       }
+      if (plan.telemetry != nullptr) plan.telemetry->add_events(events);
       if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();
     };
 

@@ -28,6 +28,7 @@
 #include "runner/scenario.hpp"
 
 namespace bng::obs {
+class SweepTelemetry;
 class TraceRing;
 }
 
@@ -57,6 +58,11 @@ struct ExecutionPlan {
   std::function<void(std::uint32_t point, std::uint32_t ordinal,
                      const obs::TraceRing& ring)>
       trace_sink;
+  /// Optional sweep telemetry. The in-process thread executor feeds it each
+  /// job's executed-event count (for the events/sec rate in --progress and
+  /// --stats-json); process/fleet executors ignore it — their experiments
+  /// run in other address spaces.
+  obs::SweepTelemetry* telemetry = nullptr;
 };
 
 /// Whether the plan says this job already has its record (resume).
@@ -119,7 +125,8 @@ std::unique_ptr<Executor> make_process_pool_executor(ProcessPoolOptions options)
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
                   std::shared_ptr<const sim::PrebuiltWorkload> pool,
-                  obs::TraceRing* trace = nullptr);
+                  obs::TraceRing* trace = nullptr,
+                  std::uint64_t* events_executed = nullptr);
 
 /// Entry point of the `ngsim --worker` mode: speak the worker protocol over
 /// the given fds (stdin/stdout when exec'd) until EOF. Returns the process

@@ -153,6 +153,7 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   ExecutionPlan plan{scenario, points, seeds, options.share_workload,
                      done.empty() ? nullptr : &done};
   plan.trace_mask = options.trace_mask;
+  plan.telemetry = tel;
   if (options.trace_mask != 0) {
     trace_out.open(options.trace_path, std::ios::trunc);
     if (!trace_out)

@@ -87,11 +87,17 @@ void Experiment::build_nodes() {
   Rng latency_rng = master_rng_.fork(2);
   Rng sched_rng = master_rng_.fork(3);
 
-  net::Topology topology = net::Topology::random(cfg_.num_nodes, cfg_.min_degree, topo_rng);
+  const bool clustered = cfg_.clusters >= 2;
+  net::Topology topology =
+      clustered ? net::Topology::clustered(cfg_.num_nodes, cfg_.clusters, cfg_.min_degree,
+                                           cfg_.cluster_trunks, topo_rng)
+                : net::Topology::random(cfg_.num_nodes, cfg_.min_degree, topo_rng);
   const net::LatencyModel latency =
       cfg_.latency ? *cfg_.latency : net::LatencyModel::default_internet();
-  network_ =
-      std::make_unique<net::Network>(queue_, topology, latency, cfg_.link, latency_rng);
+  const net::LatencyModel intra =
+      cfg_.intra_latency ? *cfg_.intra_latency : net::LatencyModel::intra_cluster();
+  network_ = std::make_unique<net::Network>(queue_, topology, latency, cfg_.link,
+                                            latency_rng, clustered ? &intra : nullptr);
 
   // Share the deployment-wide interner so global-tree and node-tree ids agree.
   trace_ = std::make_unique<TraceRecorder>(genesis_, network_->interner());

@@ -92,6 +92,17 @@ struct ExperimentConfig {
   net::LinkParams link;  ///< ~100 kbit/s pairwise
   std::optional<net::LatencyModel> latency;  ///< default: default_internet()
 
+  // --- Clustered overlay (10k+-node scaling runs) ---------------------------
+  /// >= 2: build Topology::clustered with this many region clusters; edges
+  /// inside a cluster draw intra_latency, trunks draw `latency`. 0/1 (the
+  /// default) keeps the paper's flat uniform graph — and its exact RNG draw
+  /// sequence, so existing scenario digests are untouched.
+  std::uint32_t clusters = 0;
+  /// Trunk edges per adjacent cluster pair (and random chords) when
+  /// clustered.
+  std::uint32_t cluster_trunks = 8;
+  std::optional<net::LatencyModel> intra_latency;  ///< default: intra_cluster()
+
   // --- Workload (paper §7 "No Transaction Propagation") --------------------
   std::size_t tx_size = 476;   ///< identical-size txs; ~3.5 tx/s at 1MB/600s
   Amount tx_fee = 10'000;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -251,6 +252,114 @@ TEST(EventQueue, DifferentialAgainstReferenceModel) {
   });
   ASSERT_EQ(fired.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(fired[i], expected[i].seq);
+}
+
+// Far-future spill/refill differential: delays spanning eight orders of
+// magnitude force every calendar path at once — near-term bucket inserts,
+// overflow-heap spills, window slides, epoch restarts with width retunes —
+// interleaved with cancels and equal-time bursts. Execution order must still
+// match the naive (time, seq) reference exactly.
+TEST(EventQueue, DifferentialFarFutureSpillRefill) {
+  struct RefEvent {
+    double at;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  EventQueue q;
+  std::vector<RefEvent> ref;
+  std::vector<std::uint64_t> fired;
+  std::vector<std::uint64_t> ids;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  std::uint64_t seq = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      // Magnitude 10^0 .. 10^7 delays, plus exact collisions every 5th event.
+      const double mag = std::pow(10.0, static_cast<double>(next() % 8));
+      double at = q.now() + mag * (1.0 + static_cast<double>(next() % 97) / 97.0);
+      if (i % 5 == 0) at = q.now() + 64.0;  // same-timestamp FIFO pressure
+      const std::uint64_t s = seq++;
+      ids.push_back(q.schedule_at(at, [&fired, s] { fired.push_back(s); }));
+      ref.push_back({at, s});
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!ref[i].cancelled && ref[i].at > q.now() && next() % 5 == 0 &&
+          q.cancel(ids[i]))
+        ref[i].cancelled = true;
+    }
+    // Drain far enough to pull overflow entries back through epoch restarts.
+    q.run_until(q.now() + std::pow(10.0, static_cast<double>(next() % 7)));
+  }
+  q.run_all();
+
+  std::vector<RefEvent> expected;
+  for (const auto& e : ref)
+    if (!e.cancelled) expected.push_back(e);
+  std::sort(expected.begin(), expected.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) EXPECT_EQ(fired[i], expected[i].seq);
+}
+
+// --- consume_if_next: the burst-drain primitive ------------------------------
+
+TEST(EventQueue, ConsumeIfNextConsumesHeadWithoutInvoking) {
+  EventQueue q;
+  int fired = 0;
+  auto id = q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.consume_if_next(id));
+  EXPECT_EQ(fired, 0);  // consumed, never invoked
+  EXPECT_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.events_executed(), 1u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_FALSE(q.cancel(id));  // the handle is spent
+}
+
+TEST(EventQueue, ConsumeIfNextRefusesWhenEarlierEventPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  auto id = q.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_FALSE(q.consume_if_next(id));
+  q.run_all();
+  EXPECT_EQ(fired, 2);  // refusal left both events intact
+}
+
+TEST(EventQueue, ConsumeIfNextRefusesSameTimeEarlierSeq) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  auto id = q.schedule_at(1.0, [] {});
+  EXPECT_FALSE(q.consume_if_next(id));  // FIFO: the first scheduling wins
+}
+
+TEST(EventQueue, ConsumeIfNextRefusesCancelledId) {
+  EventQueue q;
+  auto id = q.schedule_at(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.consume_if_next(id));
+}
+
+TEST(EventQueue, ConsumeIfNextHonorsRunUntilHorizon) {
+  // Inside a run_until(t) callback, a re-armed event past t must be refused
+  // (exactly what pop_one's limit would enforce), while one inside the
+  // horizon may be consumed.
+  EventQueue q;
+  std::vector<int> log;
+  q.schedule_at(1.0, [&] {
+    auto late = q.schedule_at(5.0, [&] { log.push_back(5); });
+    EXPECT_FALSE(q.consume_if_next(late));
+    auto soon = q.schedule_at(1.5, [&] { log.push_back(1); });
+    EXPECT_TRUE(q.consume_if_next(soon));
+  });
+  q.run_until(2.0);
+  EXPECT_EQ(q.now(), 2.0);
+  q.run_all();
+  EXPECT_EQ(log, (std::vector<int>{5}));  // the consumed 1.5 never fired
 }
 
 }  // namespace

@@ -231,6 +231,46 @@ TEST_F(NetworkTest, ReplyFromHandlerDoesNotDisturbTrain) {
   EXPECT_EQ(nodes_[0].received[0].tag, 99);
 }
 
+// Fast-path counters: a send on an idle link delivers directly (no FIFO),
+// while messages queued behind it drain as a burst train.
+TEST_F(NetworkTest, IdleLinkSendsCountAsDirectDeliveries) {
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 1));  // idle link: direct
+  queue_.run_all();
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 2));  // idle again: direct
+  queue_.run_all();
+  EXPECT_EQ(net_.direct_deliveries(), 2u);
+  EXPECT_EQ(net_.burst_drained(), 0u);
+  ASSERT_EQ(nodes_[1].received.size(), 2u);
+  EXPECT_NEAR(nodes_[1].received[0].at, 0.2, 1e-9);  // same timing as the slow path
+}
+
+TEST_F(NetworkTest, BusyLinkTrainCountsBurstDrains) {
+  constexpr int kTrain = 8;
+  for (int i = 0; i < kTrain; ++i) net_.send(0, 1, std::make_shared<TestMessage>(1250, i));
+  queue_.run_all();
+  // First message rode the direct path; the 7 queued behind it drained as
+  // consecutive head events on the same link.
+  EXPECT_EQ(net_.direct_deliveries(), 1u);
+  EXPECT_EQ(net_.burst_drained(), static_cast<std::uint64_t>(kTrain - 1));
+  ASSERT_EQ(nodes_[1].received.size(), static_cast<std::size_t>(kTrain));
+  for (int i = 0; i < kTrain; ++i) EXPECT_EQ(nodes_[1].received[i].tag, i);
+}
+
+TEST_F(NetworkTest, FastPathPreservesTimingAcrossIdleGaps) {
+  // Burst, drain to idle, then another send: the second burst must start
+  // from the link-idle state, not from a stale last-arrival clamp.
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 1));
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 2));
+  queue_.run_all();
+  net_.send(0, 1, std::make_shared<TestMessage>(1250, 3));
+  queue_.run_all();
+  ASSERT_EQ(nodes_[1].received.size(), 3u);
+  EXPECT_NEAR(nodes_[1].received[0].at, 0.2, 1e-9);
+  EXPECT_NEAR(nodes_[1].received[1].at, 0.3, 1e-9);
+  // Third send departs at 0.3 (link free), arrives 0.3 + 0.1 + 0.1.
+  EXPECT_NEAR(nodes_[1].received[2].at, 0.5, 1e-9);
+}
+
 // peers() must keep Topology's adjacency order — protocol broadcast order
 // (and therefore the whole deterministic replay) depends on it.
 TEST(NetworkStandalone, PeersKeepTopologyOrder) {

@@ -82,6 +82,70 @@ TEST(Topology, DifferentSeedsDiffer) {
   EXPECT_TRUE(any_diff);
 }
 
+// Clustered (two-level overlay) topology ------------------------------------
+
+TEST(Topology, ClusteredIsConnectedAndMeetsMinDegree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto topo = Topology::clustered(1000, 10, 5, 8, rng);
+    EXPECT_TRUE(topo.connected()) << "seed " << seed;
+    for (NodeId n = 0; n < 1000; ++n)
+      EXPECT_GE(topo.peers(n).size(), 5u) << "seed " << seed << " node " << n;
+  }
+}
+
+TEST(Topology, ClusteredAssignsContiguousClusters) {
+  Rng rng(7);
+  auto topo = Topology::clustered(100, 4, 3, 2, rng);
+  EXPECT_EQ(topo.num_clusters(), 4u);
+  // Contiguous blocks: cluster ids are non-decreasing over node ids and
+  // every cluster is non-empty.
+  std::uint32_t prev = 0;
+  std::set<std::uint32_t> seen;
+  for (NodeId n = 0; n < 100; ++n) {
+    EXPECT_GE(topo.cluster_of(n), prev);
+    prev = topo.cluster_of(n);
+    seen.insert(topo.cluster_of(n));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Topology, ClusteredEdgesAreMostlyIntraCluster) {
+  Rng rng(11);
+  auto topo = Topology::clustered(2000, 20, 6, 8, rng);
+  std::size_t intra = 0, inter = 0;
+  for (NodeId a = 0; a < 2000; ++a)
+    for (NodeId b : topo.peers(a)) {
+      if (a < b) (topo.cluster_of(a) == topo.cluster_of(b) ? intra : inter)++;
+    }
+  EXPECT_GT(intra, inter * 4);  // locality: the overwhelming majority is intra
+  EXPECT_GT(inter, 0u);         // but trunks do exist
+}
+
+TEST(Topology, ClusteredDeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto t1 = Topology::clustered(300, 6, 4, 4, a);
+  auto t2 = Topology::clustered(300, 6, 4, 4, b);
+  for (NodeId n = 0; n < 300; ++n) {
+    EXPECT_EQ(t1.peers(n), t2.peers(n));
+    EXPECT_EQ(t1.cluster_of(n), t2.cluster_of(n));
+  }
+}
+
+TEST(Topology, FlatTopologiesReportSingleCluster) {
+  Rng rng(5);
+  auto topo = Topology::random(50, 5, rng);
+  EXPECT_EQ(topo.num_clusters(), 1u);
+  for (NodeId n = 0; n < 50; ++n) EXPECT_EQ(topo.cluster_of(n), 0u);
+}
+
+TEST(Topology, ClusteredTwoClustersWork) {
+  Rng rng(13);
+  auto topo = Topology::clustered(40, 2, 3, 1, rng);
+  EXPECT_TRUE(topo.connected());
+  EXPECT_EQ(topo.num_clusters(), 2u);
+}
+
 class TopologySizeTest : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(TopologySizeTest, ConnectedAcrossSizes) {
