@@ -26,6 +26,20 @@ struct WorkerStatsFrame {
   std::uint64_t busy_ms = 0;        ///< wall time spent inside run_job
 };
 
+/// End-of-run summary a parallel-in-time engine (sim/parallel_engine.hpp)
+/// reports for one sharded experiment. Busy/stall time flows in separately
+/// through add_parallel_delta so --progress shows efficiency live.
+struct ParallelFrame {
+  std::uint32_t shards = 0;
+  std::uint64_t windows = 0;        ///< safe windows (== barriers) executed
+  std::uint64_t lane_messages = 0;  ///< cross-shard deliveries merged
+  std::uint64_t arena_local_bytes = 0;  ///< bytes first-touched on shard threads
+  double window_min_s = 0;
+  double window_avg_s = 0;
+  double wall_ms = 0;           ///< engine wall time
+  std::uint64_t events = 0;     ///< events executed across the run's shards
+};
+
 /// Dispatcher-side view of one remote worker.
 struct WorkerTelemetry {
   std::string endpoint;
@@ -61,6 +75,14 @@ class SweepTelemetry {
   // --- Journal fsync lag ----------------------------------------------------
   void journal_stats(std::uint64_t fsyncs, double total_ms, double max_ms);
 
+  // --- Parallel-in-time engine (sharded single runs) ------------------------
+  /// Incremental shard busy/stall wall time, ms. Engines flush every few
+  /// dozen barriers while running, so progress_line's par_eff figure is
+  /// live; the deltas sum to the final totals (no double counting).
+  void add_parallel_delta(double busy_ms, double stall_ms);
+  /// One finished sharded run's summary.
+  void add_parallel_run(const ParallelFrame& frame);
+
   // --- Fleet worker table (TcpFleetExecutor) --------------------------------
   /// Size the worker table; called once before dispatch.
   void init_workers(const std::vector<std::string>& endpoints);
@@ -95,6 +117,20 @@ class SweepTelemetry {
   double journal_fsync_max_ms_ = 0;
   bool has_journal_ = false;
   std::vector<WorkerTelemetry> workers_;
+
+  // Parallel-engine aggregates (across every sharded run of the sweep).
+  bool has_parallel_ = false;
+  double par_busy_ms_ = 0;
+  double par_stall_ms_ = 0;
+  std::uint32_t par_shards_max_ = 0;
+  std::uint64_t par_runs_ = 0;
+  std::uint64_t par_windows_ = 0;
+  std::uint64_t par_lane_messages_ = 0;
+  std::uint64_t par_arena_bytes_ = 0;
+  double par_window_min_s_ = 0;
+  double par_window_sum_s_ = 0;   ///< Σ avg*windows — weighted mean source
+  double par_shard_seconds_ = 0;  ///< Σ wall_s * shards — per-shard rate base
+  std::uint64_t par_events_ = 0;
 };
 
 }  // namespace bng::obs

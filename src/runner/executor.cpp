@@ -23,11 +23,16 @@ void throw_if_interrupted() {
 RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::uint32_t point_index, std::uint32_t ordinal,
                   std::shared_ptr<const sim::PrebuiltWorkload> pool,
-                  obs::TraceRing* trace, std::uint64_t* events_executed) {
+                  obs::TraceRing* trace, std::uint64_t* events_executed,
+                  obs::SweepTelemetry* telemetry) {
   sim::ExperimentConfig cfg = point.config;
   cfg.seed = job_seed(scenario.seed_base, point_index, ordinal);
   cfg.shared_workload = std::move(pool);
   cfg.trace = trace;
+  cfg.parallel_telemetry = telemetry;
+  // RunHook scenarios drive the run themselves (step the queue, mutate
+  // scheduler state mid-flight); those assumptions are serial-only.
+  if (scenario.run) cfg.shards = 1;
 
   sim::Experiment exp(std::move(cfg));
   NamedValues hook_values;
@@ -40,7 +45,7 @@ RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
   NamedValues values = standard_metric_values(exp);
   values.insert(values.end(), hook_values.begin(), hook_values.end());
   if (scenario.extra) scenario.extra(exp, values);
-  if (events_executed != nullptr) *events_executed = exp.queue().events_executed();
+  if (events_executed != nullptr) *events_executed = exp.events_executed();
   return extract_record(exp, std::move(values), point_index, ordinal);
 }
 
@@ -99,12 +104,12 @@ class ThreadPoolExecutor final : public Executor {
       if (plan.trace_mask != 0) {
         obs::TraceRing ring(plan.trace_mask);
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool, &ring, &events));
+                     ordinal, st.pool, &ring, &events, plan.telemetry));
         if (plan.trace_sink)
           plan.trace_sink(static_cast<std::uint32_t>(p), ordinal, ring);
       } else {
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool, nullptr, &events));
+                     ordinal, st.pool, nullptr, &events, plan.telemetry));
       }
       if (plan.telemetry != nullptr) plan.telemetry->add_events(events);
       if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();

@@ -210,6 +210,12 @@ void apply_config_override(sim::ExperimentConfig& cfg, std::string_view key,
     cfg.adversary.gamma = parse_double(key, value);
   } else if (key == "equivocate_every") {
     cfg.adversary.equivocate_every = static_cast<std::uint32_t>(parse_u64(key, value));
+  } else if (key == "shards") {
+    // Wall-clock knob only: records and digests are bit-identical for every
+    // value (sim/parallel_engine.hpp), so sweeping it is harmless but
+    // pointless — it belongs in the base config or on the CLI.
+    cfg.shards = static_cast<std::uint32_t>(parse_u64(key, value));
+    if (cfg.shards == 0) throw std::invalid_argument("shards must be >= 1");
   } else {
     std::string known;
     for (const std::string& k : config_override_keys()) {
@@ -232,7 +238,8 @@ std::vector<std::string> config_override_keys() {
           "max_microblock_size",     "leader_fee_fraction",
           "tie_break",       "adversary",
           "adversary_node",  "adversary_share",
-          "adversary_gamma", "equivocate_every"};
+          "adversary_gamma", "equivocate_every",
+          "shards"};
 }
 
 Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs) {

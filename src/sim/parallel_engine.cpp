@@ -1,0 +1,336 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/experiment.hpp"
+
+namespace bng::sim {
+
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Shared coordinator/worker state for the bulk-synchronous loop. One mutex
+/// guards everything: the hot path is the sim inside run_until, not the
+/// per-window handshake.
+struct Control {
+  std::mutex mu;
+  std::condition_variable cv_go;    ///< coordinator -> workers
+  std::condition_variable cv_done;  ///< workers -> coordinator
+  std::uint64_t epoch = 0;          ///< window generation counter
+  std::uint32_t done = 0;           ///< workers finished with current epoch
+  Seconds window_end = 0;
+  bool quit = false;
+
+  // Per-shard figures for the epoch just finished, written under mu before
+  // the done signal, read by the coordinator once done == shards.
+  std::vector<double> last_busy_ms;
+  std::vector<Clock::time_point> done_at;
+};
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Experiment& exp) : exp_(exp) {}
+
+void ParallelEngine::run() {
+  Experiment& e = exp_;
+  const ExperimentConfig& cfg = e.cfg_;
+  const std::uint32_t K = e.shards_;
+  if (K < 2) throw std::logic_error("ParallelEngine: needs >= 2 shards");
+
+  std::vector<net::EventQueue*> queues{&e.queue_};
+  for (auto& q : e.shard_queues_) queues.push_back(q.get());
+
+  // The win stream: same RNG fork, same start time, same draw order as
+  // MiningScheduler would produce from serial run() — see WinSequence.
+  WinSequence wins(e.powers_, cfg.params.block_interval, e.master_rng_.fork(3),
+                   cfg.retarget, e.queue_.now());
+
+  // Engine-private metrics. Deliberately NOT the record registry: RunRecords
+  // must be bit-identical to serial runs, so these surface only through
+  // stats() / telemetry.
+  obs::Registry registry;
+  obs::Histogram& hist_stall = registry.histogram(
+      "parallel_barrier_stall_ms", {0.01, 0.1, 1.0, 10.0, 100.0}, obs::Unit::kNone,
+      "per-shard wait (ms) between finishing a window and the slowest shard finishing");
+  obs::Histogram& hist_busy = registry.histogram(
+      "parallel_shard_busy_ms", {0.01, 0.1, 1.0, 10.0, 100.0}, obs::Unit::kNone,
+      "per-shard execution time (ms) inside one safe window");
+  obs::Gauge& gauge_local = registry.gauge(
+      "parallel_arena_local_bytes", obs::Unit::kBytes,
+      "node-state arena bytes first-touched on their shard's running thread");
+
+  stats_ = ParallelStats{};
+  stats_.shards = K;
+  stats_.shard_busy_ms.assign(K, 0.0);
+  stats_.shard_events.assign(K, 0);
+
+  Control ctl;
+  ctl.last_busy_ms.assign(K, 0.0);
+  ctl.done_at.assign(K, Clock::time_point{});
+
+  std::vector<double> busy_ms(K, 0.0);  // cumulative, written by each worker only
+  std::uint64_t arena_local_bytes = 0;
+
+  auto worker = [&](std::uint32_t s) {
+    net::EventQueue& q = *queues[s];
+    // First-touch placement: fault this shard's arena slice in from its own
+    // thread before any window runs, so a NUMA first-touch policy homes the
+    // pages with the thread that will chew on them.
+    const std::uint64_t placed = e.network_->node_state()->prefault_slice(s);
+    std::uint64_t my_epoch = 0;
+    {
+      std::lock_guard<std::mutex> lk(ctl.mu);
+      arena_local_bytes += placed;
+      ++ctl.done;
+      if (ctl.done == K) ctl.cv_done.notify_one();
+    }
+    for (;;) {
+      Seconds end;
+      {
+        std::unique_lock<std::mutex> lk(ctl.mu);
+        ctl.cv_go.wait(lk, [&] { return ctl.quit || ctl.epoch > my_epoch; });
+        if (ctl.quit) return;
+        my_epoch = ctl.epoch;
+        end = ctl.window_end;
+      }
+      const Clock::time_point t0 = Clock::now();
+      q.run_until(end);
+      const Clock::time_point t1 = Clock::now();
+      {
+        std::lock_guard<std::mutex> lk(ctl.mu);
+        const double dt = ms_between(t0, t1);
+        busy_ms[s] += dt;
+        ctl.last_busy_ms[s] = dt;
+        ctl.done_at[s] = t1;
+        ++ctl.done;
+        if (ctl.done == K) ctl.cv_done.notify_one();
+      }
+    }
+  };
+
+  const Clock::time_point t_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(K);
+  for (std::uint32_t s = 0; s < K; ++s) threads.emplace_back(worker, s);
+
+  bool workers_down = false;
+  auto shutdown = [&] {
+    if (workers_down) return;
+    workers_down = true;
+    {
+      std::lock_guard<std::mutex> lk(ctl.mu);
+      ctl.quit = true;
+    }
+    ctl.cv_go.notify_all();
+    for (auto& t : threads) t.join();
+  };
+
+  try {
+    // Wait for the prefault pass (counted as one 'done' round).
+    {
+      std::unique_lock<std::mutex> lk(ctl.mu);
+      ctl.cv_done.wait(lk, [&] { return ctl.done == K; });
+    }
+    stats_.arena_local_bytes = arena_local_bytes;
+    gauge_local.set(static_cast<double>(arena_local_bytes));
+
+    // Mirror of the serial run() loop: same step quantum, same horizon, same
+    // boundary accumulation (each boundary is previous + step in the same FP
+    // expression order), same stop and drain semantics.
+    const Seconds step = std::max<Seconds>(cfg.params.block_interval / 4, 1.0);
+    const Seconds horizon = 10000.0 * cfg.params.block_interval *
+                            std::max<std::uint32_t>(cfg.target_blocks, 1);
+    bool stopped = e.counted_blocks() >= cfg.target_blocks;
+    Seconds end_time = kInf;
+    if (stopped) {
+      e.end_time_ = e.queue_.now() + cfg.drain_time;
+      end_time = e.end_time_;
+    }
+    Seconds next_check = e.queue_.now() + step;
+    Seconds prev_end = e.queue_.now();
+    std::size_t mut_idx = 0;
+    std::vector<net::TimedMutation>& muts = e.mutations_;
+    double flushed_busy_ms = 0;
+    double flushed_stall_ms = 0;
+
+    // Replay scratch: (time, shard, local index), stable-sorted by time so
+    // ties keep (shard, local order) — the deterministic merge order.
+    struct ReplayRef {
+      Seconds at;
+      std::uint32_t shard;
+      std::uint32_t index;
+    };
+    std::vector<ReplayRef> replay;
+
+    for (;;) {
+      // --- Window bound: E = min(m + W, next boundary, next mutation, end).
+      Seconds m = stopped ? kInf : wins.peek_at();
+      for (net::EventQueue* q : queues) m = std::min(m, q->next_time_bound());
+      const Seconds lookahead = e.network_->conservative_lookahead();
+      if (!(lookahead > 0))
+        throw std::runtime_error(
+            "ParallelEngine: non-positive cross-shard lookahead (zero-latency "
+            "cross-shard link?)");
+      Seconds window_end = m + lookahead;  // inf-safe
+      if (!stopped) window_end = std::min(window_end, next_check);
+      if (mut_idx < muts.size()) window_end = std::min(window_end, muts[mut_idx].at);
+      if (stopped) window_end = std::min(window_end, end_time);
+      if (!std::isfinite(window_end))
+        throw std::runtime_error("ParallelEngine: no finite window bound");
+
+      // --- Inject wins due inside this window, in serial draw order. Safe:
+      // m <= win.at for every injected win, so window_end <= win.at +
+      // lookahead and any cross-shard message the win triggers arrives at or
+      // after the window's end — no shard can have run past it.
+      while (!stopped && wins.peek_at() <= window_end) {
+        const WinSequence::Win win = wins.next();
+        protocol::BaseNode* miner = e.nodes_[win.miner].get();
+        e.network_->queue_for(win.miner).schedule_at(
+            win.at, [miner, work = win.work] { miner->on_mining_win(work); });
+      }
+
+      // --- Release the window and wait for every shard.
+      {
+        std::lock_guard<std::mutex> lk(ctl.mu);
+        ctl.window_end = window_end;
+        ctl.done = 0;
+        ++ctl.epoch;
+      }
+      ctl.cv_go.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(ctl.mu);
+        ctl.cv_done.wait(lk, [&] { return ctl.done == K; });
+        Clock::time_point slowest = ctl.done_at[0];
+        for (std::uint32_t s = 1; s < K; ++s)
+          if (ctl.done_at[s] > slowest) slowest = ctl.done_at[s];
+        for (std::uint32_t s = 0; s < K; ++s) {
+          hist_busy.observe(ctl.last_busy_ms[s]);
+          hist_stall.observe(ms_between(ctl.done_at[s], slowest));
+        }
+      }
+
+      // --- Barrier: merge cross-shard lanes, replay generation buffers,
+      // apply global mutations, refresh the lookahead if an edge changed.
+      e.network_->flush_lanes();
+
+      replay.clear();
+      for (std::uint32_t s = 0; s < K; ++s) {
+        const auto& items = e.shard_observers_[s]->items();
+        for (std::uint32_t i = 0; i < items.size(); ++i)
+          replay.push_back(ReplayRef{items[i].at, s, i});
+      }
+      std::stable_sort(replay.begin(), replay.end(),
+                       [](const ReplayRef& a, const ReplayRef& b) { return a.at < b.at; });
+      for (const ReplayRef& r : replay) {
+        ShardObserver::Item& item = e.shard_observers_[r.shard]->items()[r.index];
+        if (item.fraud) {
+          e.trace_->on_fraud_detected(item.node, item.accused, item.at);
+        } else {
+          e.trace_->on_block_generated(item.block, item.node, item.at);
+        }
+      }
+      for (std::uint32_t s = 0; s < K; ++s) e.shard_observers_[s]->items().clear();
+
+      while (mut_idx < muts.size() && muts[mut_idx].at <= window_end) {
+        muts[mut_idx].apply();
+        ++stats_.mutations_applied;
+        // add_edge_latency marked the network's lookahead dirty; the next
+        // loop iteration recomputes the window width (a delay window that
+        // shrinks a cross-shard latency mid-run narrows every subsequent
+        // window until it reverts).
+        if (muts[mut_idx].affects_latency) ++stats_.lookahead_recomputes;
+        ++mut_idx;
+      }
+
+      ++stats_.windows;
+      const Seconds width = window_end - prev_end;
+      if (width < stats_.window_min_s) stats_.window_min_s = width;
+      stats_.window_sum_s += width;
+      prev_end = window_end;
+
+      // --- Stop-condition boundaries (exact serial semantics).
+      if (!stopped && window_end == next_check) {
+        if (e.counted_blocks() >= cfg.target_blocks) {
+          stopped = true;
+          e.end_time_ = window_end + cfg.drain_time;
+          end_time = e.end_time_;
+        } else {
+          if (next_check > horizon)
+            throw std::runtime_error("Experiment: stop condition never reached");
+          next_check += step;
+        }
+      } else if (stopped && window_end >= end_time) {
+        break;
+      }
+
+      // --- Live telemetry flush (cheap; every 32 windows).
+      if (cfg.parallel_telemetry != nullptr && (stats_.windows & 31u) == 0) {
+        double busy_total = 0;
+        {
+          std::lock_guard<std::mutex> lk(ctl.mu);
+          for (std::uint32_t s = 0; s < K; ++s) busy_total += busy_ms[s];
+        }
+        const double wall = ms_between(t_start, Clock::now());
+        const double stall_total = std::max(0.0, wall * K - busy_total);
+        cfg.parallel_telemetry->add_parallel_delta(busy_total - flushed_busy_ms,
+                                                   stall_total - flushed_stall_ms);
+        flushed_busy_ms = busy_total;
+        flushed_stall_ms = stall_total;
+      }
+    }
+
+    shutdown();
+
+    const double wall = ms_between(t_start, Clock::now());
+    double busy_total = 0;
+    for (std::uint32_t s = 0; s < K; ++s) {
+      stats_.shard_busy_ms[s] = busy_ms[s];
+      stats_.shard_events[s] = queues[s]->events_executed();
+      busy_total += busy_ms[s];
+    }
+    stats_.busy_ms = busy_total;
+    stats_.stall_ms = std::max(0.0, wall * K - busy_total);
+    stats_.lane_messages = e.network_->lane_messages();
+    if (stats_.windows == 0) stats_.window_min_s = 0;
+    stats_.metrics = registry.snapshot();
+
+    if (cfg.parallel_telemetry != nullptr) {
+      cfg.parallel_telemetry->add_parallel_delta(stats_.busy_ms - flushed_busy_ms,
+                                                 stats_.stall_ms - flushed_stall_ms);
+      obs::ParallelFrame frame;
+      frame.shards = K;
+      frame.windows = stats_.windows;
+      frame.lane_messages = stats_.lane_messages;
+      frame.arena_local_bytes = stats_.arena_local_bytes;
+      frame.window_min_s = stats_.window_min_s;
+      frame.window_avg_s = stats_.window_avg_s();
+      frame.wall_ms = wall;
+      std::uint64_t events = 0;
+      for (const std::uint64_t n : stats_.shard_events) events += n;
+      frame.events = events;
+      cfg.parallel_telemetry->add_parallel_run(frame);
+    }
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+}
+
+}  // namespace bng::sim

@@ -1,0 +1,121 @@
+// Parallel-in-time execution of a single run (ROADMAP "scale" track).
+//
+// A conservative-window (YAWNS-style) engine: nodes are partitioned into K
+// shards by topology cluster, each shard owns a private EventQueue and a
+// NodeStateArena slice, and shard threads execute events in bulk-synchronous
+// safe windows whose width is the minimum cross-shard link latency (plus the
+// minimum per-message transfer time). Any message sent inside a window
+// arrives strictly after the window's end, so shards cannot miss each
+// other's sends; cross-shard deliveries buffer in per-(src, dst) lanes and
+// merge at each barrier in deterministic (arrival, src shard, lane sequence)
+// order.
+//
+// Determinism: digests and RunRecords are bit-identical for any --shards K,
+// including K=1 vs the serial engine. The three pillars:
+//  1. Mining wins are replayed from a WinSequence (same RNG fork, same draw
+//     order as MiningScheduler) and injected onto the owning shard's queue
+//     ahead of each window, so the win stream is byte-for-byte the serial
+//     one.
+//  2. Each shard's event execution is order-identical to the serial engine
+//     restricted to that shard: intra-shard timing arithmetic (busy_until,
+//     cpu_busy, latency draws at wiring time) is the same FP expression
+//     sequence.
+//  3. Cross-shard interleavings only matter for *simultaneous* events, and
+//     event times come from continuous draws (exponential waits, continuous
+//     latencies) — ties across shards have probability zero. Within a shard
+//     order is preserved exactly; global state mutations (faults, churn)
+//     apply at barriers, cutting every window at their scheduled time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/observer.hpp"
+
+namespace bng::sim {
+
+class Experiment;
+
+/// Per-shard buffer standing in for the global TraceRecorder while shard
+/// threads run: nodes report generations/frauds here (single shard thread,
+/// no locking), and the coordinator replays the buffers into the real
+/// recorder at each barrier, merged across shards by (time, shard, local
+/// order) — the serial recorder's append order up to simultaneous
+/// cross-shard events (probability zero under continuous draws).
+class ShardObserver final : public protocol::IBlockObserver {
+ public:
+  struct Item {
+    bool fraud = false;
+    chain::BlockPtr block;  ///< generation payload (null for frauds)
+    Hash256 accused;        ///< fraud payload
+    NodeId node = kNoNode;  ///< miner or detector
+    Seconds at = 0;
+  };
+
+  void on_block_generated(const chain::BlockPtr& block, NodeId miner, Seconds at) override {
+    items_.push_back(Item{false, block, Hash256{}, miner, at});
+  }
+  void on_fraud_detected(NodeId detector, const Hash256& accused, Seconds at) override {
+    items_.push_back(Item{true, nullptr, accused, detector, at});
+  }
+
+  [[nodiscard]] std::vector<Item>& items() { return items_; }
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// What the engine measured. Never flows into RunRecords (which must stay
+/// bit-identical to serial runs); surfaces through --stats-json / --progress
+/// via obs::SweepTelemetry and through benches/tests via stats().
+struct ParallelStats {
+  std::uint32_t shards = 0;
+  std::uint64_t windows = 0;  ///< barriers executed
+  double window_min_s = std::numeric_limits<double>::infinity();
+  double window_sum_s = 0;
+  double busy_ms = 0;   ///< Σ over shards: wall time executing inside windows
+  double stall_ms = 0;  ///< Σ over shards: wall time waiting at barriers
+  std::uint64_t lane_messages = 0;       ///< cross-shard deliveries merged
+  std::uint64_t arena_local_bytes = 0;   ///< bytes first-touched on shard threads
+  std::uint64_t mutations_applied = 0;   ///< fault/churn transitions at barriers
+  std::uint64_t lookahead_recomputes = 0;  ///< window-width refreshes (delay faults)
+  std::vector<double> shard_busy_ms;
+  std::vector<std::uint64_t> shard_events;
+  /// Snapshot of the engine's private registry (parallel_barrier_stall_ms /
+  /// parallel_shard_busy_ms histograms, placement gauge).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  [[nodiscard]] double window_avg_s() const {
+    return windows > 0 ? window_sum_s / static_cast<double>(windows) : 0;
+  }
+  /// Parallel efficiency: share of shard wall time spent executing.
+  [[nodiscard]] double efficiency() const {
+    const double total = busy_ms + stall_ms;
+    return total > 0 ? busy_ms / total : 1.0;
+  }
+};
+
+/// Drives one built Experiment to its stop condition across shard threads.
+/// Constructed and invoked by Experiment::run() when config().shards >= 2;
+/// owns no simulation state beyond scratch.
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(Experiment& exp);
+
+  /// Equivalent of the serial run() tail: inject wins, execute windows,
+  /// apply barriers until target blocks + drain. Throws the serial engine's
+  /// "stop condition never reached" past the same horizon.
+  void run();
+
+  [[nodiscard]] const ParallelStats& stats() const { return stats_; }
+
+ private:
+  Experiment& exp_;
+  ParallelStats stats_;
+};
+
+}  // namespace bng::sim

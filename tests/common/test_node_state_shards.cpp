@@ -1,0 +1,72 @@
+// NodeStateArena sharding: slice partitioning, prefault, and the
+// FlatIdSet-shaped view semantics across slice boundaries.
+#include <gtest/gtest.h>
+
+#include "common/node_state.hpp"
+
+namespace bng {
+namespace {
+
+TEST(NodeStateShards, SetShardsPartitionsContiguously) {
+  NodeStateArena arena(10);
+  arena.set_shards({0, 0, 0, 1, 1, 1, 1, 2, 2, 2});
+  EXPECT_EQ(arena.num_slices(), 3u);
+  EXPECT_EQ(arena.slice(0).node_begin(), 0u);
+  EXPECT_EQ(arena.slice(0).num_nodes(), 3u);
+  EXPECT_EQ(arena.slice(1).node_begin(), 3u);
+  EXPECT_EQ(arena.slice(1).num_nodes(), 4u);
+  EXPECT_EQ(arena.slice(2).node_begin(), 7u);
+  EXPECT_EQ(arena.slice(2).num_nodes(), 3u);
+  EXPECT_EQ(&arena.slice_of(4), &arena.slice(1));
+}
+
+TEST(NodeStateShards, RejectsNonContiguousMapping) {
+  NodeStateArena arena(4);
+  EXPECT_THROW(arena.set_shards({0, 1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(arena.set_shards({0, 0, 1}), std::invalid_argument);  // size
+}
+
+TEST(NodeStateShards, ViewsIsolatedAcrossSlices) {
+  NodeStateArena arena(4);
+  arena.set_shards({0, 0, 1, 1});
+  ArenaIdSet a(arena, NodeStateArena::kKnown, 1);      // slice 0
+  ArenaIdSet b(arena, NodeStateArena::kKnown, 2);      // slice 1
+  ArenaIdSet a_req(arena, NodeStateArena::kRequested, 1);
+  a.insert(7);
+  EXPECT_TRUE(a.contains(7));
+  EXPECT_FALSE(b.contains(7));
+  EXPECT_FALSE(a_req.contains(7));  // planes are independent rows
+  b.insert(7);
+  a.clear();
+  EXPECT_FALSE(a.contains(7));
+  EXPECT_TRUE(b.contains(7));  // epoch bump is per row, not global
+  a.insert(3);
+  a.erase(3);
+  EXPECT_FALSE(a.contains(3));
+}
+
+TEST(NodeStateShards, PrefaultReportsBytesAndPreservesSemantics) {
+  NodeStateArena arena(6);
+  arena.set_shards({0, 0, 0, 1, 1, 1});
+  const std::size_t bytes = arena.prefault_slice(1, /*expected_ids=*/128);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_GE(arena.slice(1).capacity(), 128u);
+  // Prefaulted slices behave identically: empty, then normal membership.
+  ArenaIdSet v(arena, NodeStateArena::kKnown, 4);
+  EXPECT_FALSE(v.contains(0));
+  v.insert(500);  // growth past the prefault capacity still works
+  EXPECT_TRUE(v.contains(500));
+}
+
+TEST(NodeStateShards, SlicesGrowIndependently) {
+  NodeStateArena arena(4);
+  arena.set_shards({0, 0, 1, 1});
+  ArenaIdSet a(arena, NodeStateArena::kKnown, 0);
+  a.insert(10'000);
+  EXPECT_GE(arena.slice(0).capacity(), 10'001u);
+  EXPECT_LT(arena.slice(1).capacity(), 10'001u);  // untouched slice stayed small
+  EXPECT_TRUE(a.contains(10'000));
+}
+
+}  // namespace
+}  // namespace bng

@@ -1,0 +1,62 @@
+// next_time_bound(): the conservative-window engine sizes safe windows
+// from this bound, so it must never overshoot the true next event time
+// (undershooting only shrinks a window, which is safe).
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "net/event_queue.hpp"
+
+namespace bng::net {
+namespace {
+
+constexpr Seconds kInf = std::numeric_limits<Seconds>::infinity();
+
+TEST(NextTimeBound, EmptyQueueIsInfinite) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time_bound(), kInf);
+}
+
+TEST(NextTimeBound, TracksEarliestPending) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.schedule_at(2.0, [] {});
+  q.schedule_at(9.0, [] {});
+  EXPECT_LE(q.next_time_bound(), 2.0);
+  EXPECT_GT(q.next_time_bound(), 0.0);
+}
+
+TEST(NextTimeBound, NeverExceedsNextExecution) {
+  EventQueue q;
+  Seconds first_fired = -1;
+  q.schedule_at(3.0, [&] { first_fired = q.now(); });
+  const Seconds bound = q.next_time_bound();
+  q.run_until(10.0);
+  ASSERT_EQ(first_fired, 3.0);
+  EXPECT_LE(bound, first_fired);
+}
+
+TEST(NextTimeBound, CancelledEntriesMayLowerButNotRaise) {
+  EventQueue q;
+  auto id = q.schedule_at(1.0, [] {});
+  q.schedule_at(4.0, [] {});
+  ASSERT_TRUE(q.cancel(id));
+  // Lazy cancellation: the bound may still report 1.0 — that is the safe
+  // direction. It must not exceed the genuine next event at 4.0.
+  EXPECT_LE(q.next_time_bound(), 4.0);
+}
+
+TEST(NextTimeBound, AdvancesAsEventsDrain) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.schedule_at(6.0, [] {});
+  q.run_until(2.0);
+  const Seconds bound = q.next_time_bound();
+  EXPECT_GT(bound, 2.0);
+  EXPECT_LE(bound, 6.0);
+  q.run_until(10.0);
+  EXPECT_EQ(q.next_time_bound(), kInf);
+}
+
+}  // namespace
+}  // namespace bng::net

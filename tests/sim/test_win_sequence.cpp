@@ -1,0 +1,94 @@
+// WinSequence must replay MiningScheduler's draw sequence bit-for-bit:
+// the parallel engine injects its wins instead of running the scheduler,
+// so any divergence in (time, miner, difficulty) breaks determinism.
+#include <gtest/gtest.h>
+
+#include "../support/harness.hpp"
+#include "bitcoin/bitcoin_node.hpp"
+#include "sim/miner_distribution.hpp"
+#include "sim/mining_scheduler.hpp"
+
+namespace bng::sim {
+namespace {
+
+using bng::testing::MiniNet;
+
+chain::Params btc_params() {
+  auto p = chain::Params::bitcoin();
+  p.max_block_size = 3000;
+  return p;
+}
+
+/// Collect (at, miner) pairs from a real scheduler run.
+std::vector<std::pair<Seconds, std::uint32_t>> scheduler_wins(
+    std::vector<double> powers, Seconds interval, std::uint64_t rng_seed,
+    std::optional<chain::RetargetRule> retarget, Seconds until) {
+  const auto n = static_cast<std::uint32_t>(powers.size());
+  MiniNet<bitcoin::BitcoinNode> net(n, btc_params());
+  std::vector<protocol::BaseNode*> miners;
+  for (std::uint32_t i = 0; i < n; ++i) miners.push_back(&net.node(i));
+  MiningScheduler sched(net.queue(), miners, std::move(powers), interval,
+                        Rng(rng_seed));
+  if (retarget) sched.enable_difficulty(*retarget);
+  std::vector<std::pair<Seconds, std::uint32_t>> out;
+  sched.on_win = [&](std::uint32_t miner, Seconds at) { out.emplace_back(at, miner); };
+  sched.start();
+  net.queue().run_until(until);
+  sched.stop();
+  return out;
+}
+
+void expect_replay_matches(std::vector<double> powers, Seconds interval,
+                           std::uint64_t rng_seed,
+                           std::optional<chain::RetargetRule> retarget,
+                           Seconds until) {
+  const auto expected = scheduler_wins(powers, interval, rng_seed, retarget, until);
+  ASSERT_GT(expected.size(), 10u) << "test horizon too short to be meaningful";
+
+  WinSequence seq(powers, interval, Rng(rng_seed), retarget, /*start_time=*/0.0);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(seq.peek_at(), expected[i].first) << "win " << i;  // bitwise
+    const WinSequence::Win win = seq.next();
+    ASSERT_EQ(win.at, expected[i].first) << "win " << i;
+    ASSERT_EQ(win.miner, expected[i].second) << "win " << i;
+  }
+  EXPECT_EQ(seq.wins(), expected.size());
+  // The next draw lies past the horizon — the scheduler produced no more.
+  EXPECT_GT(seq.peek_at(), until);
+}
+
+TEST(WinSequence, MatchesSchedulerUniform) {
+  expect_replay_matches(uniform_powers(4), 10.0, 99, std::nullopt, 2000.0);
+}
+
+TEST(WinSequence, MatchesSchedulerSkewedPowers) {
+  expect_replay_matches({0.6, 0.25, 0.1, 0.05}, 3.0, 42, std::nullopt, 1000.0);
+}
+
+TEST(WinSequence, MatchesSchedulerWithRetarget) {
+  // Retargets shift both the difficulty (win.work) and every subsequent
+  // inter-arrival draw; the replay must track the tracker exactly.
+  expect_replay_matches(uniform_powers(3), 5.0, 7,
+                        chain::RetargetRule{20, 5.0, 4.0}, 2000.0);
+}
+
+TEST(WinSequence, WorkTracksDifficulty) {
+  WinSequence plain(uniform_powers(2), 10.0, Rng(1), std::nullopt, 0.0);
+  EXPECT_EQ(plain.next().work, 1.0);
+
+  WinSequence retargeted(uniform_powers(2), 10.0, Rng(1),
+                         chain::RetargetRule{5, 10.0, 4.0}, 0.0);
+  for (int i = 0; i < 20; ++i) EXPECT_GT(retargeted.next().work, 0.0);
+}
+
+TEST(WinSequence, RejectsBadConfig) {
+  EXPECT_THROW(WinSequence({}, 10.0, Rng(1), std::nullopt, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(WinSequence({0.5, 0.5}, 0.0, Rng(1), std::nullopt, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(WinSequence({0.0, 0.0}, 10.0, Rng(1), std::nullopt, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bng::sim
