@@ -13,18 +13,22 @@
 //   ngsim --serve 9700                      # worker half of a TCP fleet
 //   ngsim --scenario fig7 --hosts a:9700,b:9700 --journal fig7.journal
 //   ngsim --resume fig7.journal --hosts a:9700,b:9700
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <system_error>
 
 #include "obs/telemetry.hpp"
 #include "obs/trace_ring.hpp"
+#include "runner/adaptive.hpp"
+#include "runner/cache.hpp"
 #include "runner/emit.hpp"
 #include "runner/executor.hpp"
 #include "runner/journal.hpp"
@@ -40,7 +44,7 @@ constexpr const char* kUsage = R"(ngsim — parallel multi-seed sweep runner
 
 Usage: ngsim --scenario NAME [options]
        ngsim --scenario-file PATH [options]
-       ngsim --serve PORT
+       ngsim --serve PORT [--cache DIR]
        ngsim --resume JOURNAL [options]
        ngsim --list
 
@@ -58,6 +62,14 @@ Options:
   --nodes N             emulated node count                   (default 1000)
   --blocks N            counted blocks per run                (default 60)
   --out DIR             write <scenario>.json / .csv here     (default .)
+  --cache DIR           content-addressed record cache (see bench/README.md
+                        "Adaptive sweeps & caching"): finished jobs are
+                        answered from DIR instead of re-simulated; shared by
+                        --jobs/--procs/--hosts runs and safe across processes.
+                        Journal --resume records take precedence.
+  --dense               for refine-marked scenarios: evaluate every grid point
+                        instead of bisecting (the oracle an adaptive run's
+                        frontier artifacts are byte-compared against)
   --no-table            suppress the human-readable table
   --list                list registered scenarios and exit
   --help                this text
@@ -150,22 +162,56 @@ void on_interrupt(int) {
 /// with --resume and it completes).
 constexpr int kExitInterrupted = 75;
 
+/// `--cache DIR` for the worker entry points: opens the directory and
+/// returns the cache, or nullptr when the args carry none. Sets `ok` false
+/// (with a message) on a malformed tail or an unopenable directory.
+std::unique_ptr<runner::RunCache> worker_cache_from_args(int argc, char** argv,
+                                                         int first, bool& ok) {
+  std::unique_ptr<runner::RunCache> cache;
+  ok = true;
+  for (int i = first; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      try {
+        cache = std::make_unique<runner::RunCache>(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ngsim: %s\n", e.what());
+        ok = false;
+        return nullptr;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "ngsim: unknown worker option '%s'\n", argv[i]);
+    ok = false;
+    return nullptr;
+  }
+  return cache;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // Hidden worker mode: speak the record protocol on stdin/stdout and never
   // touch the CLI surface (a stray printf would corrupt the framing).
-  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0)
+  if (argc > 1 && std::strcmp(argv[1], "--worker") == 0) {
+    bool ok = false;
+    const auto cache = worker_cache_from_args(argc, argv, 2, ok);
+    if (!ok) return 1;
+    bng::runner::ActiveCacheScope cache_scope(cache.get());
     return bng::runner::worker_main(0, 1);
+  }
 
   // TCP fleet worker mode: bind, announce the port, serve dispatchers until
   // killed. Survives dispatcher crashes by design (--resume reconnects).
   if (argc > 1 && std::strcmp(argv[1], "--serve") == 0) {
     std::uint32_t port = 0;
-    if (argc != 3 || !parse_u32_arg("--serve", argv[2], port, 0) || port > 65535) {
+    if (argc < 3 || !parse_u32_arg("--serve", argv[2], port, 0) || port > 65535) {
       std::fprintf(stderr, "ngsim: --serve requires a port (0-65535)\n");
       return 1;
     }
+    bool ok = false;
+    const auto cache = worker_cache_from_args(argc, argv, 3, ok);
+    if (!ok) return 1;
+    bng::runner::ActiveCacheScope cache_scope(cache.get());
     return bng::runner::serve_main(static_cast<std::uint16_t>(port));
   }
 
@@ -175,6 +221,7 @@ int main(int argc, char** argv) {
   std::string stats_json_path;
   std::string out_dir = ".";
   bool print_table = true;
+  bool dense = false;
   runner::RunKnobs knobs{runner::env_u32("REPRO_NODES", 1000),
                          runner::env_u32("REPRO_BLOCKS", 60)};
   runner::SweepOptions options;
@@ -223,6 +270,19 @@ int main(int argc, char** argv) {
       }
       out_dir = next;
       ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--cache") == 0) {
+      if (next == nullptr) {
+        std::fprintf(stderr, "ngsim: --cache requires a directory\n");
+        return 1;
+      }
+      options.cache_dir = next;
+      ++i;
+      continue;
+    }
+    if (std::strcmp(arg, "--dense") == 0) {
+      dense = true;
       continue;
     }
     if (std::strcmp(arg, "--seeds") == 0) {
@@ -359,18 +419,19 @@ int main(int argc, char** argv) {
   // the journal header; explicit flags may only confirm it, never change it
   // — run_sweep separately re-verifies the full identity before appending.
   std::string resume_inline_text;
+  std::optional<runner::JournalHeader> resume_header;
   if (!resume_path.empty()) {
     if (!options.journal_path.empty() && options.journal_path != resume_path) {
       std::fprintf(stderr, "ngsim: --journal conflicts with --resume\n");
       return 1;
     }
-    runner::JournalHeader header;
     try {
-      header = runner::read_journal_header(resume_path);
+      resume_header = runner::read_journal_header(resume_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ngsim: %s\n", e.what());
       return 1;
     }
+    const runner::JournalHeader& header = *resume_header;
     const bool builtin = header.source_kind ==
                          static_cast<std::uint8_t>(runner::ScenarioSource::Kind::kBuiltin);
     if (builtin) {
@@ -437,6 +498,24 @@ int main(int argc, char** argv) {
   // Purely a wall-clock knob: records are bit-identical for any value.
   if (cli_shards > 0) scenario->base.shards = cli_shards;
 
+  // A mismatched --resume must fail with the identity reason, and it must do
+  // so before the output-path probing below: the journal belonging to a
+  // different sweep is the user's actual mistake, not whatever --out happens
+  // to be. run_sweep/run_adaptive re-verify the full identity before
+  // appending, so this early check can only reject, never admit.
+  if (resume_header) {
+    const std::size_t n_points = runner::expand(*scenario).size();
+    const runner::JournalHeader expected = runner::make_journal_header(
+        *scenario, std::max(options.seeds, 1u), n_points);
+    if (const std::string why = runner::journal_mismatch(*resume_header, expected);
+        !why.empty()) {
+      std::fprintf(stderr,
+                   "ngsim: --resume: journal %s does not belong to this sweep: %s\n",
+                   resume_path.c_str(), why.c_str());
+      return 1;
+    }
+  }
+
   // Validate the output targets BEFORE dispatching any job: an unwritable
   // --out must fail in milliseconds, not after the sweep. The probe opens
   // in append mode so existing artifacts from an earlier run survive intact
@@ -465,7 +544,16 @@ int main(int argc, char** argv) {
     if (!existed) std::filesystem::remove(path, ec);
   }
 
-  if (options.procs > 0) options.worker_argv = {self_exe_path(argv[0]), "--worker"};
+  if (options.procs > 0) {
+    options.worker_argv = {self_exe_path(argv[0]), "--worker"};
+    if (!options.cache_dir.empty()) {
+      // Worker processes open the same directory themselves; entries are
+      // shared through the filesystem (write-to-temp + rename keeps
+      // concurrent writers safe).
+      options.worker_argv.push_back("--cache");
+      options.worker_argv.push_back(options.cache_dir);
+    }
+  }
 
   const auto trace_path = dir / (scenario->name + "_trace.jsonl");
   if (options.trace_mask != 0) options.trace_path = trace_path.string();
@@ -484,8 +572,35 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_interrupt);
   }
 
+  if (dense && !scenario->refine.has_value()) {
+    std::fprintf(stderr,
+                 "ngsim: --dense only applies to scenarios with a refine axis\n");
+    return 1;
+  }
+
   try {
-    const runner::SweepResult result = runner::run_sweep(*scenario, options);
+    // Refine-marked scenarios go through the adaptive driver: coarse pass +
+    // bisection (or every point under --dense), plus the crossover-surface
+    // artifacts. Everything else is a plain dense sweep.
+    runner::SweepResult result;
+    std::filesystem::path frontier_json_path;
+    std::filesystem::path frontier_csv_path;
+    bool wrote_frontier = false;
+    if (scenario->refine.has_value()) {
+      runner::AdaptiveOptions aopt;
+      aopt.sweep = options;
+      aopt.dense = dense;
+      runner::AdaptiveResult adaptive = runner::run_adaptive(*scenario, aopt);
+      frontier_json_path = dir / (scenario->name + "_frontier.json");
+      frontier_csv_path = dir / (scenario->name + "_frontier.csv");
+      if (!write_file(frontier_json_path, runner::frontier_json(*scenario, adaptive)) ||
+          !write_file(frontier_csv_path, runner::frontier_csv(adaptive)))
+        return 1;
+      wrote_frontier = true;
+      result = std::move(adaptive.sweep);
+    } else {
+      result = runner::run_sweep(*scenario, options);
+    }
     if (print_table) {
       // Report the scenario's effective base scale, not the requested knobs:
       // scenarios may clamp or fix their size (smoke, the attack ablations).
@@ -501,6 +616,9 @@ int main(int argc, char** argv) {
       return 1;
     std::printf("\nwrote %s, %s, %s\n", json_path.string().c_str(),
                 agg_path.string().c_str(), seeds_path.string().c_str());
+    if (wrote_frontier)
+      std::printf("wrote %s, %s\n", frontier_json_path.string().c_str(),
+                  frontier_csv_path.string().c_str());
     if (options.trace_mask != 0)
       std::printf("wrote %s\n", trace_path.string().c_str());
     if (!stats_json_path.empty()) {

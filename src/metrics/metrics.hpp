@@ -28,6 +28,15 @@ struct MetricsReport {
   double time_to_win_p90_s = 0;
   double tx_per_sec = 0;
 
+  // One-way block propagation (Figure 7's quantity, pooled over every
+  // (block, node) pair): tail percentiles plus the raw samples, which
+  // register_report folds into the `prop_delay_s` histogram so the record
+  // schema carries the whole distribution, not just three cuts of it.
+  double prop_delay_p50_s = 0;
+  double prop_delay_p90_s = 0;
+  double prop_delay_p99_s = 0;
+  std::vector<double> prop_delay_samples;
+
   // Supporting counts.
   std::uint32_t main_chain_pow_blocks = 0;
   std::uint32_t total_pow_blocks = 0;

@@ -50,6 +50,27 @@ void SweepTelemetry::journal_stats(std::uint64_t fsyncs, double total_ms,
   journal_fsync_max_ms_ = max_ms;
 }
 
+void SweepTelemetry::cache_stats(std::uint64_t hits, std::uint64_t misses,
+                                 std::uint64_t stale, std::uint64_t stores) {
+  std::lock_guard lock(mu_);
+  has_cache_ = true;
+  cache_hits_ = hits;
+  cache_misses_ = misses;
+  cache_stale_ = stale;
+  cache_stores_ = stores;
+}
+
+void SweepTelemetry::adaptive_stats(std::size_t dense_points, std::size_t dense_jobs,
+                                    std::size_t evaluated_points,
+                                    std::size_t jobs_dispatched) {
+  std::lock_guard lock(mu_);
+  has_adaptive_ = true;
+  adaptive_dense_points_ = dense_points;
+  adaptive_dense_jobs_ = dense_jobs;
+  adaptive_evaluated_points_ = evaluated_points;
+  adaptive_jobs_dispatched_ = jobs_dispatched;
+}
+
 void SweepTelemetry::add_parallel_delta(double busy_ms, double stall_ms) {
   std::lock_guard lock(mu_);
   has_parallel_ = true;
@@ -129,7 +150,7 @@ std::string SweepTelemetry::progress_line() const {
 
 std::string SweepTelemetry::to_json(const std::string& scenario, double wall_s) const {
   std::lock_guard lock(mu_);
-  char buf[512];
+  char buf[768];
   std::string j = "{\n";
   std::snprintf(buf, sizeof buf,
                 "  \"scenario\": \"%s\",\n  \"records_total\": %zu,\n"
@@ -151,6 +172,24 @@ std::string SweepTelemetry::to_json(const std::string& scenario, double wall_s) 
                   "\"fsync_max_ms\": %.3f}",
                   static_cast<unsigned long long>(journal_fsyncs_),
                   journal_fsync_total_ms_, journal_fsync_max_ms_);
+    j += buf;
+  }
+  if (has_cache_) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+                  "\"stale\": %llu, \"stores\": %llu}",
+                  static_cast<unsigned long long>(cache_hits_),
+                  static_cast<unsigned long long>(cache_misses_),
+                  static_cast<unsigned long long>(cache_stale_),
+                  static_cast<unsigned long long>(cache_stores_));
+    j += buf;
+  }
+  if (has_adaptive_) {
+    std::snprintf(buf, sizeof buf,
+                  ",\n  \"adaptive\": {\"dense_points\": %zu, \"dense_jobs\": %zu, "
+                  "\"evaluated_points\": %zu, \"jobs_dispatched\": %zu}",
+                  adaptive_dense_points_, adaptive_dense_jobs_,
+                  adaptive_evaluated_points_, adaptive_jobs_dispatched_);
     j += buf;
   }
   if (has_parallel_) {
@@ -184,13 +223,17 @@ std::string SweepTelemetry::to_json(const std::string& scenario, double wall_s) 
         "%s\n    {\"endpoint\": \"%s\", \"alive\": %s, \"abandoned\": %s, "
         "\"records\": %llu, \"inflight\": %u, \"reconnects\": %u, "
         "\"speculation_wins\": %u, \"heartbeats\": %llu, \"max_silence_ms\": %llu, "
-        "\"reported\": {\"jobs_done\": %u, \"pool_rebuilds\": %u, \"busy_ms\": %llu}}",
+        "\"reported\": {\"jobs_done\": %u, \"pool_rebuilds\": %u, \"busy_ms\": %llu, "
+        "\"cache_hits\": %u, \"cache_misses\": %u, \"cache_stale\": %u, "
+        "\"cache_stores\": %u}}",
         i == 0 ? "" : ",", w.endpoint.c_str(), w.alive ? "true" : "false",
         w.abandoned ? "true" : "false", static_cast<unsigned long long>(w.records),
         w.inflight, w.reconnects, w.speculation_wins,
         static_cast<unsigned long long>(w.heartbeats),
         static_cast<unsigned long long>(w.max_silence_ms), w.reported.jobs_done,
-        w.reported.pool_rebuilds, static_cast<unsigned long long>(w.reported.busy_ms));
+        w.reported.pool_rebuilds, static_cast<unsigned long long>(w.reported.busy_ms),
+        w.reported.cache_hits, w.reported.cache_misses, w.reported.cache_stale,
+        w.reported.cache_stores);
     j += buf;
   }
   j += workers_.empty() ? "]\n}\n" : "\n  ]\n}\n";

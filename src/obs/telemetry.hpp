@@ -24,6 +24,13 @@ struct WorkerStatsFrame {
   std::uint32_t jobs_done = 0;      ///< records computed this session
   std::uint32_t pool_rebuilds = 0;  ///< shared-workload pools built
   std::uint64_t busy_ms = 0;        ///< wall time spent inside run_job
+  // Record-cache counters (runner/cache.hpp); all zero when the worker runs
+  // without --cache. Appended after busy_ms on the wire — a frame that ends
+  // at busy_ms (pre-cache workers) still parses, with these left at zero.
+  std::uint32_t cache_hits = 0;
+  std::uint32_t cache_misses = 0;
+  std::uint32_t cache_stale = 0;
+  std::uint32_t cache_stores = 0;
 };
 
 /// End-of-run summary a parallel-in-time engine (sim/parallel_engine.hpp)
@@ -75,6 +82,20 @@ class SweepTelemetry {
   // --- Journal fsync lag ----------------------------------------------------
   void journal_stats(std::uint64_t fsyncs, double total_ms, double max_ms);
 
+  // --- Record cache (runner/cache.hpp) --------------------------------------
+  /// Final cache counters for the sweep: the dispatcher's own cache plus the
+  /// sum of every fleet worker's self-reported counters. Adds a "cache"
+  /// section to the stats JSON.
+  void cache_stats(std::uint64_t hits, std::uint64_t misses, std::uint64_t stale,
+                   std::uint64_t stores);
+
+  // --- Adaptive frontier driver (runner/adaptive.hpp) -----------------------
+  /// Dispatch accounting for an adaptive sweep: how many points/jobs the
+  /// dense grid holds vs how many were actually evaluated/dispatched. Adds
+  /// an "adaptive" section to the stats JSON (CI asserts the reduction).
+  void adaptive_stats(std::size_t dense_points, std::size_t dense_jobs,
+                      std::size_t evaluated_points, std::size_t jobs_dispatched);
+
   // --- Parallel-in-time engine (sharded single runs) ------------------------
   /// Incremental shard busy/stall wall time, ms. Engines flush every few
   /// dozen barriers while running, so progress_line's par_eff figure is
@@ -116,6 +137,16 @@ class SweepTelemetry {
   double journal_fsync_total_ms_ = 0;
   double journal_fsync_max_ms_ = 0;
   bool has_journal_ = false;
+  bool has_cache_ = false;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_stale_ = 0;
+  std::uint64_t cache_stores_ = 0;
+  bool has_adaptive_ = false;
+  std::size_t adaptive_dense_points_ = 0;
+  std::size_t adaptive_dense_jobs_ = 0;
+  std::size_t adaptive_evaluated_points_ = 0;
+  std::size_t adaptive_jobs_dispatched_ = 0;
   std::vector<WorkerTelemetry> workers_;
 
   // Parallel-engine aggregates (across every sharded run of the sweep).

@@ -401,6 +401,63 @@ Scenario make_selfish_threshold(const RunKnobs& knobs) {
   return s;
 }
 
+// --- selfish_frontier: alpha crossover surface per gamma x protocol ----------
+// The refine-marked companion of selfish_threshold: a fine alpha axis (121
+// values, step 0.0025) that the adaptive driver bisects per (protocol, gamma)
+// group instead of evaluating densely. `ngsim --scenario selfish_frontier`
+// therefore answers "at what alpha does SM1 turn profitable?" with ~1/10 of
+// the dense grid's jobs; `--dense` evaluates every point as the oracle.
+Scenario make_selfish_frontier(const RunKnobs& knobs) {
+  Scenario s;
+  s.name = "selfish_frontier";
+  s.description =
+      "SM1 profitability crossover alpha per gamma x protocol, bisected along a "
+      "fine alpha axis (§2)";
+  s.seed_base = 9400;
+  s.base = paper_base(knobs);
+  s.base.num_nodes = std::min(knobs.nodes, 60u);
+  s.base.params.max_block_size = 4000;
+  s.base.params.max_microblock_size = 4000;
+  s.base.target_blocks = std::max(knobs.blocks * 5, 60u);
+  s.base.drain_time = 60;
+  s.base.adversary.kind = sim::AdversarySpec::Kind::kSelfish;
+  Axis proto = protocol_axis({chain::Protocol::kBitcoin, chain::Protocol::kBitcoinNG});
+  for (AxisValue& v : proto.values) {
+    ConfigDelta inner = std::move(v.apply);
+    v.apply = [inner](sim::ExperimentConfig& cfg) {
+      inner(cfg);
+      if (cfg.params.protocol == chain::Protocol::kBitcoinNG) {
+        cfg.params.block_interval = 20.0;
+        cfg.params.microblock_interval = 10.0;
+      } else {
+        cfg.params.block_interval = 10.0;
+      }
+    };
+  }
+  s.axes.push_back(std::move(proto));
+  s.axes.push_back(gamma_axis({0.0, 0.5, 1.0}));
+  // Fine alpha grid: 0.10 .. 0.40 in 0.0025 steps. Labels carry four decimals
+  // so neighboring points stay distinct in the artifacts.
+  Axis alpha{"alpha", {}};
+  for (int i = 0; i <= 120; ++i) {
+    const double a = 0.10 + 0.0025 * i;
+    alpha.values.push_back(AxisValue{fmt("a=%.4f", a), a,
+                                     [a](sim::ExperimentConfig& cfg) {
+                                       cfg.adversary.power_share = a;
+                                     }});
+  }
+  s.axes.push_back(std::move(alpha));
+  s.refine = RefineSpec{"alpha", "relative_gain", 0.0, 5, 0.0};
+  s.extra = [](const sim::Experiment& exp, NamedValues& v) {
+    const auto a = metrics::attacker_report(exp, exp.config().adversary.node);
+    v.emplace_back("revenue_share", a.revenue_share);
+    v.emplace_back("fair_share", a.fair_share);
+    v.emplace_back("relative_gain", a.relative_gain);
+    v.emplace_back("honest_acceptance", a.honest_acceptance);
+  };
+  return s;
+}
+
 // --- eclipse_selfish: SM1 withholding + eclipse of honest hubs ---------------
 // ROADMAP's named composition ("eclipse-assisted selfish mining"): the
 // declarative AdversarySpec and the FaultPlan compose freely, so the selfish
@@ -650,6 +707,7 @@ void register_builtin_scenarios() {
       {"ablation_power_drop", make_ablation_power_drop},
       {"ablation_selfish_mining", make_ablation_selfish},
       {"selfish_threshold", make_selfish_threshold},
+      {"selfish_frontier", make_selfish_frontier},
       {"partition_heal", make_partition_heal},
       {"eclipse", make_eclipse},
       {"eclipse_selfish", make_eclipse_selfish},

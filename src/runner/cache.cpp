@@ -1,0 +1,142 @@
+#include "runner/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/digest.hpp"
+#include "runner/record_codec.hpp"
+
+namespace bng::runner {
+
+namespace {
+
+constexpr char kCacheMagic[4] = {'B', 'N', 'G', 'C'};
+
+std::atomic<RunCache*> g_cache{nullptr};
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t scenario_source_hash(const Scenario& s) {
+  Digest d;
+  if (!s.source) return 0;  // callers gate on source presence; 0 is never stored
+  d.u64(static_cast<std::uint64_t>(s.source->kind));
+  d.u64(s.source->ref.size());
+  d.bytes(s.source->ref.data(), s.source->ref.size());
+  d.u64(s.source->knobs.nodes);
+  d.u64(s.source->knobs.blocks);
+  d.u64(s.seed_base);
+  return d.h;
+}
+
+RunCache::RunCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) throw std::runtime_error("--cache: cannot create directory " + dir_ + ": " + ec.message());
+}
+
+std::string RunCache::entry_path(const CacheKey& key) const {
+  const std::string digest_hex = hex16(key.config_digest);
+  return dir_ + "/" + digest_hex.substr(0, 2) + "/" + digest_hex + "-" + hex16(key.seed) + ".bngc";
+}
+
+std::optional<RunRecord> RunCache::lookup(const CacheKey& key) {
+  const std::string path = entry_path(key);
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::lock_guard lock(mu_);
+      ++counters_.misses;
+      return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = std::move(buf).str();
+  }
+
+  const auto stale = [&]() -> std::optional<RunRecord> {
+    std::lock_guard lock(mu_);
+    ++counters_.stale;
+    return std::nullopt;
+  };
+
+  try {
+    wire::Reader in{bytes};
+    const std::string magic = in.str(4);
+    if (magic != std::string_view(kCacheMagic, 4)) return stale();
+    if (in.u16() != kCacheVersion) return stale();
+    if (in.u64() != key.scenario_hash) return stale();
+    if (in.u64() != key.config_digest) return stale();
+    if (in.u64() != key.seed) return stale();
+    const std::uint32_t len = in.u32();
+    RunRecord rec = decode_record(in.str(len));
+    if (in.pos != bytes.size()) return stale();
+    if (rec.seed != key.seed) return stale();
+    std::lock_guard lock(mu_);
+    ++counters_.hits;
+    return rec;
+  } catch (const CodecError&) {
+    return stale();  // truncated/corrupt entry: treat as absent, overwrite later
+  }
+}
+
+void RunCache::store(const CacheKey& key, const RunRecord& record) {
+  std::string payload;
+  payload.append(kCacheMagic, 4);
+  wire::put_u16(payload, kCacheVersion);
+  wire::put_u64(payload, key.scenario_hash);
+  wire::put_u64(payload, key.config_digest);
+  wire::put_u64(payload, key.seed);
+  const std::string bytes = encode_record(record);
+  wire::put_u32(payload, static_cast<std::uint32_t>(bytes.size()));
+  payload += bytes;
+
+  const std::string path = entry_path(key);
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  if (ec) return;
+  // Write-to-temp + rename: concurrent readers (other worker processes
+  // sharing the directory) either see the old entry or the complete new one.
+  // The temp name includes this process's pid so concurrent writers of the
+  // same key do not clobber each other's partial files.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard lock(mu_);
+  ++counters_.stores;
+}
+
+RunCache::Counters RunCache::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+void set_run_cache(RunCache* cache) { g_cache.store(cache, std::memory_order_release); }
+
+RunCache* active_run_cache() { return g_cache.load(std::memory_order_acquire); }
+
+}  // namespace bng::runner

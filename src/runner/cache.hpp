@@ -1,0 +1,116 @@
+// Content-addressed RunRecord cache.
+//
+// A record is a pure function of (scenario, point config, seed), so once a
+// job has run anywhere it never needs to run again: entries are addressed by
+// the resolved point-config digest plus the seed, verified against a hash of
+// the scenario *source* (builtin name / inline text + knobs), and carry the
+// record in the byte-stable record_codec form. The cache is consulted in
+// run_job()'s single funnel (runner/executor.cpp), so it behaves identically
+// under --jobs, --procs, and --hosts; a worker process opens the same
+// directory and shares entries with the dispatcher through the filesystem.
+//
+// Invalidation is by key, never by time: editing the scenario source (or
+// bumping the knobs it was instantiated with) changes the scenario hash and
+// turns every old entry stale; changing any config field that affects the
+// run changes the config digest and misses instead. Stale entries are
+// counted and overwritten in place on the next store.
+//
+// Precedence when a sweep also journals: --resume prefills from the journal
+// *before* any job is dispatched, so journal records always win over cache
+// entries; the cache only answers for jobs the journal does not cover.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "runner/record.hpp"
+#include "runner/scenario.hpp"
+
+namespace bng::runner {
+
+/// Bump when the entry layout changes; readers treat foreign versions as
+/// stale (they are overwritten, not errors).
+inline constexpr std::uint16_t kCacheVersion = 1;
+
+struct CacheKey {
+  std::uint64_t scenario_hash = 0;  ///< scenario_source_hash()
+  std::uint64_t config_digest = 0;  ///< sim::config_digest(point config)
+  std::uint64_t seed = 0;           ///< the job seed (job_seed identity)
+};
+
+/// FNV-1a over the scenario's serialized identity: source kind, the builtin
+/// name or inline text, the knobs it was instantiated with, and seed_base.
+/// This is the part of a record's provenance the config digest cannot see —
+/// an edited scenario file yields a new hash even when a given point's
+/// resolved config is unchanged, so old entries are rejected as stale.
+[[nodiscard]] std::uint64_t scenario_source_hash(const Scenario& s);
+
+/// Directory-backed record store. One entry per (config digest, seed) under
+/// `dir/<hh>/<config_digest>-<seed>.bngc` (hh = first byte of the config
+/// digest in hex, to keep directories small). Thread-safe; stores are
+/// write-to-temp + rename, so concurrent processes sharing a directory never
+/// observe torn entries.
+class RunCache {
+ public:
+  /// Creates `dir` (and parents) if missing. Throws std::runtime_error when
+  /// the directory cannot be created.
+  explicit RunCache(std::string dir);
+
+  /// The cached record, or nullopt on miss/stale. The returned record's
+  /// (point, ordinal) identity is NOT rewritten — the caller stamps the
+  /// identity of the job it is answering for.
+  [[nodiscard]] std::optional<RunRecord> lookup(const CacheKey& key);
+
+  /// Insert or overwrite. Failures to write are swallowed (a cache must
+  /// never fail a sweep) but do not count as stores.
+  void store(const CacheKey& key, const RunRecord& record);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stale = 0;   ///< present but wrong hash/version/corrupt
+    std::uint64_t stores = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string entry_path(const CacheKey& key) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  Counters counters_;
+};
+
+/// Process-wide active cache, consulted by run_job(). Null (the default)
+/// disables caching entirely. Set by run_sweep()/run_adaptive() for the
+/// duration of a sweep and by the --worker/--serve entry points for the
+/// process lifetime; not owned.
+void set_run_cache(RunCache* cache);
+[[nodiscard]] RunCache* active_run_cache();
+
+/// RAII: install a RunCache as the process-wide active cache for the
+/// duration of a sweep, restoring the previous cache — normally none — on
+/// every exit path. A null cache changes nothing, so a worker process's
+/// long-lived cache survives the sweeps it runs.
+class ActiveCacheScope {
+ public:
+  explicit ActiveCacheScope(RunCache* cache)
+      : prev_(active_run_cache()), swapped_(cache != nullptr) {
+    if (swapped_) set_run_cache(cache);
+  }
+  ~ActiveCacheScope() {
+    if (swapped_) set_run_cache(prev_);
+  }
+  ActiveCacheScope(const ActiveCacheScope&) = delete;
+  ActiveCacheScope& operator=(const ActiveCacheScope&) = delete;
+
+ private:
+  RunCache* prev_;
+  bool swapped_;
+};
+
+}  // namespace bng::runner

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "obs/telemetry.hpp"
 #include "obs/trace_ring.hpp"
+#include "runner/cache.hpp"
 #include "sim/experiment.hpp"
 
 namespace bng::runner {
@@ -25,6 +28,29 @@ RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
                   std::shared_ptr<const sim::PrebuiltWorkload> pool,
                   obs::TraceRing* trace, std::uint64_t* events_executed,
                   obs::SweepTelemetry* telemetry) {
+  // Cache consult lives here, in the single funnel every executor (threads,
+  // worker processes, TCP fleet) goes through, so --jobs/--procs/--hosts all
+  // cache identically. A scenario without a serializable source or a config
+  // with a node_factory cannot be keyed and always runs fresh.
+  RunCache* const cache = active_run_cache();
+  const bool cacheable =
+      cache != nullptr && scenario.source.has_value() && sim::config_cacheable(point.config);
+  CacheKey key;
+  if (cacheable) {
+    key.scenario_hash = scenario_source_hash(scenario);
+    key.config_digest = sim::config_digest(point.config);
+    key.seed = job_seed(scenario.seed_base, point_index, ordinal);
+    if (std::optional<RunRecord> hit = cache->lookup(key)) {
+      // The entry is keyed by (config, seed), so the same record can answer
+      // for a different grid position (e.g. a refined subset vs the dense
+      // grid); stamp the identity of the job being answered.
+      hit->point = point_index;
+      hit->ordinal = ordinal;
+      if (events_executed != nullptr) *events_executed = 0;
+      return *std::move(hit);
+    }
+  }
+
   sim::ExperimentConfig cfg = point.config;
   cfg.seed = job_seed(scenario.seed_base, point_index, ordinal);
   cfg.shared_workload = std::move(pool);
@@ -46,15 +72,20 @@ RunRecord run_job(const Scenario& scenario, const SweepPoint& point,
   values.insert(values.end(), hook_values.begin(), hook_values.end());
   if (scenario.extra) scenario.extra(exp, values);
   if (events_executed != nullptr) *events_executed = exp.events_executed();
-  return extract_record(exp, std::move(values), point_index, ordinal);
+  RunRecord record = extract_record(exp, std::move(values), point_index, ordinal);
+  if (cacheable) cache->store(key, record);
+  return record;
 }
 
 namespace {
 
-/// Per-point shared state: the lazily built tx pool and the count of jobs
-/// still due to use it. The last finishing job drops the pool so a long
-/// sweep holds at most (active points) pools, not all of them.
-struct PointState {
+/// Shared state for one *distinct workload* (keyed by sim::workload_digest,
+/// not by point): the lazily built tx pool and the count of jobs still due
+/// to use it. Points whose config deltas do not touch the workload inputs —
+/// e.g. an alpha x gamma attack grid — share a single pool, and the last
+/// finishing job of the digest drops it so a long sweep holds at most
+/// (active distinct workloads) pools.
+struct PoolState {
   std::once_flag build_once;
   std::shared_ptr<const sim::PrebuiltWorkload> pool;
   std::atomic<std::uint32_t> remaining{0};
@@ -78,9 +109,17 @@ class ThreadPoolExecutor final : public Executor {
     workers = static_cast<std::uint32_t>(
         std::min<std::size_t>(workers, std::max<std::size_t>(pending.size(), 1)));
 
-    std::vector<PointState> states(plan.points.size());
-    for (const std::size_t job : pending)
-      states[job / plan.seeds].remaining.fetch_add(1, std::memory_order_relaxed);
+    std::unordered_map<std::uint64_t, std::unique_ptr<PoolState>> pool_states;
+    std::vector<PoolState*> state_of_point(plan.points.size(), nullptr);
+    if (plan.share_workload) {
+      for (std::size_t p = 0; p < plan.points.size(); ++p) {
+        auto& slot = pool_states[sim::workload_digest(plan.points[p].config)];
+        if (!slot) slot = std::make_unique<PoolState>();
+        state_of_point[p] = slot.get();
+      }
+      for (const std::size_t job : pending)
+        state_of_point[job / plan.seeds]->remaining.fetch_add(1, std::memory_order_relaxed);
+    }
 
     std::atomic<std::size_t> next_job{0};
     std::exception_ptr first_error;
@@ -90,29 +129,31 @@ class ThreadPoolExecutor final : public Executor {
       const std::size_t p = job / plan.seeds;
       const auto ordinal = static_cast<std::uint32_t>(job % plan.seeds);
 
-      PointState& st = states[p];
-      if (plan.share_workload) {
+      PoolState* const st = state_of_point[p];
+      if (st != nullptr) {
         // The pool is a seed-independent pure function of the point config
         // (which job wins the call_once race must not matter), so the
         // config goes in with its seed untouched.
-        std::call_once(st.build_once,
-                       [&] { st.pool = sim::build_shared_workload(plan.points[p].config); });
+        std::call_once(st->build_once,
+                       [&] { st->pool = sim::build_shared_workload(plan.points[p].config); });
       }
       // run_job scopes the experiment, so it is destroyed on this worker
       // thread before the pool refcount below is released.
       std::uint64_t events = 0;
+      auto pool = st != nullptr ? st->pool : nullptr;
       if (plan.trace_mask != 0) {
         obs::TraceRing ring(plan.trace_mask);
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool, &ring, &events, plan.telemetry));
+                     ordinal, std::move(pool), &ring, &events, plan.telemetry));
         if (plan.trace_sink)
           plan.trace_sink(static_cast<std::uint32_t>(p), ordinal, ring);
       } else {
         sink(run_job(plan.scenario, plan.points[p], static_cast<std::uint32_t>(p),
-                     ordinal, st.pool, nullptr, &events, plan.telemetry));
+                     ordinal, std::move(pool), nullptr, &events, plan.telemetry));
       }
       if (plan.telemetry != nullptr) plan.telemetry->add_events(events);
-      if (st.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) st.pool.reset();
+      if (st != nullptr && st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        st->pool.reset();
     };
 
     auto worker_loop = [&] {

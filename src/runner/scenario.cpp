@@ -286,6 +286,26 @@ Scenario load_scenario_string(const std::string& text, const std::string& origin
         s.seed_base = parse_u64(key, value);
       } else if (key.starts_with("base.")) {
         apply_config_override(s.base, key.substr(5), value);
+      } else if (key.starts_with("refine.")) {
+        if (!s.refine) s.refine = RefineSpec{};
+        const std::string_view sub = key.substr(7);
+        if (sub == "axis") {
+          s.refine->axis = std::string(value);
+        } else if (sub == "metric") {
+          s.refine->metric = std::string(value);
+        } else if (sub == "threshold") {
+          s.refine->threshold = parse_double(key, value);
+        } else if (sub == "coarse") {
+          s.refine->coarse = static_cast<std::uint32_t>(parse_u64(key, value));
+          if (s.refine->coarse < 2)
+            throw std::invalid_argument("refine.coarse must be >= 2");
+        } else if (sub == "tolerance") {
+          s.refine->tolerance = parse_double(key, value);
+        } else {
+          throw std::invalid_argument(
+              "unknown refine key '" + std::string(sub) +
+              "' (axis | metric | threshold | coarse | tolerance)");
+        }
       } else if (key.starts_with("axis.")) {
         std::string axis_key(key.substr(5));
         Axis axis{axis_key, {}};
@@ -315,6 +335,15 @@ Scenario load_scenario_string(const std::string& text, const std::string& origin
     } catch (const std::invalid_argument& e) {
       throw std::runtime_error(origin + ":" + std::to_string(line_no) + ": " + e.what());
     }
+  }
+  if (s.refine) {
+    if (s.refine->metric.empty())
+      throw std::runtime_error(origin + ": refine.metric is required when refine.* is set");
+    bool found = false;
+    for (const Axis& a : s.axes) found = found || a.name == s.refine->axis;
+    if (!found)
+      throw std::runtime_error(origin + ": refine.axis '" + s.refine->axis +
+                               "' does not name an axis in this file");
   }
   return s;
 }

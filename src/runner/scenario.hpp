@@ -76,6 +76,21 @@ struct ScenarioSource {
   RunKnobs knobs;
 };
 
+/// Marks one axis for adaptive refinement (runner/adaptive.hpp): instead of
+/// evaluating the axis densely, the driver runs a coarse pass and bisects
+/// each sign change of `metric - threshold` down the axis until adjacent
+/// grid indices (or an x-gap <= tolerance) bracket the crossover. Refined
+/// points keep their dense-grid index, so job_seed() — and therefore every
+/// record — is bit-identical to the same point in a dense sweep.
+struct RefineSpec {
+  std::string axis;       ///< name of the axis to refine (must exist)
+  std::string metric;     ///< record value the predicate reads (seed-mean)
+  double threshold = 0;   ///< predicate: mean(metric) > threshold
+  std::uint32_t coarse = 5;  ///< coarse-pass points per group (min 2)
+  double tolerance = 0;   ///< stop when the bracket's x-gap <= this (0: refine
+                          ///< to adjacent grid indices)
+};
+
 struct Scenario {
   std::string name;
   std::string description;
@@ -85,6 +100,9 @@ struct Scenario {
   std::uint64_t seed_base = 9000;
   RunHook run;
   ExtraHook extra;
+  /// Set: ngsim runs this scenario through the adaptive frontier driver by
+  /// default (--dense forces the full grid).
+  std::optional<RefineSpec> refine;
   /// Set by make_scenario / the scenario-file loaders; required for
   /// process-pool execution (workers rebuild the scenario from it).
   std::optional<ScenarioSource> source;
@@ -130,10 +148,17 @@ std::vector<std::string> config_override_keys();
 ///   base.protocol       = bitcoin        # bitcoin | ng | ghost
 ///   base.block_interval = 10
 ///   axis.max_block_size = 10000, 20000, 40000
+///   refine.axis         = max_block_size # adaptive driver (optional)
+///   refine.metric       = relative_gain
+///   refine.threshold    = 0
+///   refine.coarse       = 5
+///   refine.tolerance    = 0
 ///
 /// `#` starts a comment; blank lines are ignored. Each `axis.<key>` line
-/// adds one sweep axis (file order). Throws std::runtime_error on I/O or
-/// parse errors.
+/// adds one sweep axis (file order). The `refine.*` keys mark one axis for
+/// the adaptive frontier driver (see RefineSpec); `refine.axis` must name an
+/// axis defined in the file. Throws std::runtime_error on I/O or parse
+/// errors.
 Scenario load_scenario_file(const std::string& path, const RunKnobs& knobs);
 
 /// Parse scenario text in the load_scenario_file grammar. `origin` labels

@@ -11,6 +11,7 @@
 
 #include "obs/telemetry.hpp"
 #include "obs/trace_ring.hpp"
+#include "runner/cache.hpp"
 #include "runner/executor.hpp"
 #include "runner/journal.hpp"
 #include "runner/tcp_fleet.hpp"
@@ -58,6 +59,30 @@ class ProgressReporter {
 };
 
 }  // namespace
+
+std::unique_ptr<Executor> make_sweep_executor(const SweepOptions& options,
+                                              obs::SweepTelemetry* telemetry) {
+  if (!options.hosts.empty()) {
+    if (telemetry != nullptr) telemetry->init_workers(options.hosts);
+    TcpFleetOptions fopt;
+    fopt.hosts = options.hosts;
+    fopt.tuning = options.fleet;
+    fopt.telemetry = telemetry;
+    fopt.test_kill_host0_after_jobs = options.test_kill_worker0_after_jobs;
+    fopt.test_hang_host0_after_jobs = options.test_hang_host0_after_jobs;
+    fopt.test_sever_host0_after_records = options.test_sever_host0_after_records;
+    fopt.test_interrupt_after_records = options.test_interrupt_after_records;
+    return make_tcp_fleet_executor(std::move(fopt));
+  }
+  if (options.procs > 0) {
+    ProcessPoolOptions popt;
+    popt.procs = options.procs;
+    popt.worker_argv = options.worker_argv;
+    popt.kill_worker0_after_jobs = options.test_kill_worker0_after_jobs;
+    return make_process_pool_executor(std::move(popt));
+  }
+  return make_thread_executor(options.jobs);
+}
 
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -167,29 +192,17 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
       trace_out << lines;
     };
   }
+  // Record cache: journal-prefilled jobs were never dispatched, so resume
+  // records took precedence before the cache could answer; the cache fills
+  // the remaining holes. Installed process-wide for the sweep so run_job
+  // consults it no matter which executor dispatches.
+  std::unique_ptr<RunCache> cache;
+  if (!options.cache_dir.empty()) cache = std::make_unique<RunCache>(options.cache_dir);
+  ActiveCacheScope cache_scope(cache.get());
+
   const std::size_t holes = n_jobs - prefilled;
   if (holes > 0) {
-    std::unique_ptr<Executor> executor;
-    if (!options.hosts.empty()) {
-      if (tel != nullptr) tel->init_workers(options.hosts);
-      TcpFleetOptions fopt;
-      fopt.hosts = options.hosts;
-      fopt.tuning = options.fleet;
-      fopt.telemetry = tel;
-      fopt.test_kill_host0_after_jobs = options.test_kill_worker0_after_jobs;
-      fopt.test_hang_host0_after_jobs = options.test_hang_host0_after_jobs;
-      fopt.test_sever_host0_after_records = options.test_sever_host0_after_records;
-      fopt.test_interrupt_after_records = options.test_interrupt_after_records;
-      executor = make_tcp_fleet_executor(std::move(fopt));
-    } else if (options.procs > 0) {
-      ProcessPoolOptions popt;
-      popt.procs = options.procs;
-      popt.worker_argv = options.worker_argv;
-      popt.kill_worker0_after_jobs = options.test_kill_worker0_after_jobs;
-      executor = make_process_pool_executor(std::move(popt));
-    } else {
-      executor = make_thread_executor(options.jobs);
-    }
+    std::unique_ptr<Executor> executor = make_sweep_executor(options, tel);
     try {
       std::unique_ptr<ProgressReporter> reporter;
       if (options.progress && tel != nullptr)
@@ -208,6 +221,20 @@ SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options) {
   if (journal && tel != nullptr) {
     const JournalWriter::Stats js = journal->stats();
     tel->journal_stats(js.fsyncs, js.fsync_total_ms, js.fsync_max_ms);
+  }
+  if (cache && tel != nullptr) {
+    // The dispatcher's own counters plus every fleet worker's self-reported
+    // ones (piggybacked on heartbeats). Process-pool workers cache in their
+    // own address spaces and report nothing here; their effect still shows
+    // as wall-clock and on the shared directory.
+    RunCache::Counters c = cache->counters();
+    for (const obs::WorkerTelemetry& w : tel->workers()) {
+      c.hits += w.reported.cache_hits;
+      c.misses += w.reported.cache_misses;
+      c.stale += w.reported.cache_stale;
+      c.stores += w.reported.cache_stores;
+    }
+    tel->cache_stats(c.hits, c.misses, c.stale, c.stores);
   }
 
   if (delivered.load(std::memory_order_relaxed) != holes)

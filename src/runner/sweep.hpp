@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,13 @@ struct SweepOptions {
   /// argv prefix exec'd for each worker process (e.g. {"/proc/self/exe",
   /// "--worker"}). Empty: fork without exec (same binary, no exec).
   std::vector<std::string> worker_argv;
+
+  /// Non-empty: consult/populate a content-addressed record cache in this
+  /// directory (runner/cache.hpp). Keyed by (scenario-source hash, resolved
+  /// point-config digest, seed); hits skip the simulation entirely and are
+  /// byte-identical to a fresh run. Journal records prefilled by `resume`
+  /// take precedence — the cache only answers for the holes.
+  std::string cache_dir;
 
   /// Non-empty: append every completed record to this crash-safe journal
   /// (runner/journal.hpp). With `resume`, the path must hold the journal of
@@ -105,5 +113,15 @@ struct SweepResult {
 /// failure after the executor has quiesced. Throws SweepInterrupted (with
 /// the journal flushed) if the sweep interrupt flag is raised mid-run.
 SweepResult run_sweep(const Scenario& scenario, const SweepOptions& options);
+
+// Forward declaration (runner/executor.hpp).
+class Executor;
+
+/// Build the executor `options` selects — TCP fleet for `hosts`, process
+/// pool for `procs`, else the in-process thread pool. Shared by run_sweep
+/// and the adaptive driver (runner/adaptive.hpp) so both dispatch through
+/// identical substrates. Wires fleet telemetry/test hooks when applicable.
+std::unique_ptr<Executor> make_sweep_executor(const SweepOptions& options,
+                                              obs::SweepTelemetry* telemetry);
 
 }  // namespace bng::runner

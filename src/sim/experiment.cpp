@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "bitcoin/bitcoin_node.hpp"
@@ -67,6 +68,148 @@ std::shared_ptr<const PrebuiltWorkload> build_shared_workload(const ExperimentCo
   }
   return shared;
 }
+
+namespace {
+
+/// FNV-1a accumulator. Local to keep sim free of a runner dependency; the
+/// constants match runner/digest.hpp, but the two streams never mix.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (8 * i));
+      h *= 1099511628211ull;
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void latency(const std::optional<net::LatencyModel>& m) {
+    u64(m.has_value() ? 1 : 0);
+    if (!m) return;
+    u64(m->buckets().size());
+    for (const net::LatencyBucket& b : m->buckets()) {
+      f64(b.lo);
+      f64(b.hi);
+      f64(b.weight);
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t workload_digest(const ExperimentConfig& cfg) {
+  Fnv fnv;
+  // Exactly generate_workload()'s inputs: the protocol only matters through
+  // the counted-block size, so e.g. bitcoin and ghost points share one pool.
+  const std::size_t counted = cfg.params.protocol == chain::Protocol::kBitcoinNG
+                                  ? cfg.params.max_microblock_size
+                                  : cfg.params.max_block_size;
+  fnv.u64(counted);
+  fnv.u64(cfg.tx_size);
+  fnv.u64(static_cast<std::uint64_t>(cfg.tx_fee));
+  fnv.u64(cfg.pool_size);
+  fnv.u64(cfg.target_blocks);
+  return fnv.h;
+}
+
+std::uint64_t config_digest(const ExperimentConfig& cfg) {
+  Fnv fnv;
+  // Consensus parameters.
+  const chain::Params& p = cfg.params;
+  fnv.u64(static_cast<std::uint64_t>(p.protocol));
+  fnv.f64(p.block_interval);
+  fnv.u64(p.retarget_interval);
+  fnv.f64(p.retarget_clamp);
+  fnv.f64(p.microblock_interval);
+  fnv.f64(p.min_microblock_interval);
+  fnv.u64(p.max_microblock_size);
+  fnv.u64(p.max_block_size);
+  fnv.u64(static_cast<std::uint64_t>(p.block_subsidy));
+  fnv.f64(p.leader_fee_fraction);
+  fnv.f64(p.poison_reward_fraction);
+  fnv.u64(p.coinbase_maturity);
+  fnv.u64(static_cast<std::uint64_t>(p.tie_break));
+  fnv.f64(p.tie_switch_prob);
+  // Deployment.
+  fnv.u64(cfg.num_nodes);
+  fnv.u64(cfg.min_degree);
+  fnv.f64(cfg.link.bandwidth_bps);
+  fnv.u64(cfg.link.per_message_overhead_bytes);
+  fnv.latency(cfg.latency);
+  fnv.u64(cfg.clusters);
+  fnv.u64(cfg.cluster_trunks);
+  fnv.latency(cfg.intra_latency);
+  // Workload + stop condition.
+  fnv.u64(cfg.tx_size);
+  fnv.u64(static_cast<std::uint64_t>(cfg.tx_fee));
+  fnv.u64(cfg.pool_size);
+  fnv.u64(cfg.target_blocks);
+  fnv.f64(cfg.drain_time);
+  // Node model.
+  fnv.f64(cfg.verify_fixed);
+  fnv.f64(cfg.verify_bytes_per_second);
+  fnv.u64(cfg.verify_signatures ? 1 : 0);
+  fnv.u64(static_cast<std::uint64_t>(cfg.workload_mode));
+  // Mining population.
+  fnv.f64(cfg.power_exponent);
+  fnv.u64(cfg.custom_powers.has_value() ? 1 : 0);
+  if (cfg.custom_powers) {
+    fnv.u64(cfg.custom_powers->size());
+    for (double w : *cfg.custom_powers) fnv.f64(w);
+  }
+  fnv.u64(cfg.retarget.has_value() ? 1 : 0);
+  if (cfg.retarget) {
+    fnv.u64(cfg.retarget->interval_blocks);
+    fnv.f64(cfg.retarget->target_spacing);
+    fnv.f64(cfg.retarget->clamp);
+  }
+  // Adversary.
+  fnv.u64(static_cast<std::uint64_t>(cfg.adversary.kind));
+  fnv.u64(cfg.adversary.node);
+  fnv.f64(cfg.adversary.power_share);
+  fnv.f64(cfg.adversary.gamma);
+  fnv.u64(cfg.adversary.equivocate_every);
+  // Faults.
+  fnv.u64(cfg.faults.partitions.size());
+  for (const auto& f : cfg.faults.partitions) {
+    fnv.f64(f.at);
+    fnv.f64(f.heal_at);
+    fnv.u64(f.group.size());
+    for (NodeId n : f.group) fnv.u64(n);
+  }
+  fnv.u64(cfg.faults.link_delays.size());
+  for (const auto& f : cfg.faults.link_delays) {
+    fnv.f64(f.at);
+    fnv.f64(f.until);
+    fnv.u64(f.a);
+    fnv.u64(f.b);
+    fnv.f64(f.extra);
+  }
+  fnv.u64(cfg.faults.eclipses.size());
+  for (const auto& f : cfg.faults.eclipses) {
+    fnv.f64(f.at);
+    fnv.f64(f.heal_at);
+    fnv.u64(f.node);
+  }
+  // Churn.
+  fnv.u64(cfg.churn.size());
+  for (const auto& c : cfg.churn) {
+    fnv.f64(c.at);
+    fnv.u64(c.node);
+    fnv.u64(c.online ? 1 : 0);
+  }
+  // Deliberately excluded: seed (part of the cache key), shards /
+  // parallel_telemetry / trace / shared_workload (bit-identical no-ops on
+  // the record), node_factory (gates cacheability instead, see
+  // config_cacheable).
+  return fnv.h;
+}
+
+bool config_cacheable(const ExperimentConfig& cfg) { return cfg.node_factory == nullptr; }
 
 Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)), master_rng_(cfg_.seed) {}
 

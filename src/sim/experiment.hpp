@@ -194,6 +194,25 @@ struct ExperimentConfig {
 [[nodiscard]] std::shared_ptr<const PrebuiltWorkload> build_shared_workload(
     const ExperimentConfig& cfg);
 
+/// FNV-1a digest over exactly the inputs generate_workload() reads (counted
+/// block size for the protocol, tx_size, tx_fee, pool_size, target_blocks).
+/// Two configs with equal digests build byte-identical PrebuiltWorkloads, so
+/// executors key their shared-pool caches by this instead of by sweep point.
+[[nodiscard]] std::uint64_t workload_digest(const ExperimentConfig& cfg);
+
+/// FNV-1a digest over every field that changes what a run computes: params,
+/// deployment, workload, stop condition, node model, mining population,
+/// adversary, faults, churn. Excludes seed and the pure wall-clock /
+/// observation knobs (shards, telemetry, trace, shared_workload), which are
+/// bit-identical no-ops on the record. Together with the scenario-source
+/// hash and the seed this is the record-cache key.
+[[nodiscard]] std::uint64_t config_digest(const ExperimentConfig& cfg);
+
+/// False when the config carries state config_digest() cannot see — today
+/// that is only the node_factory escape hatch. Uncacheable configs always
+/// run fresh.
+[[nodiscard]] bool config_cacheable(const ExperimentConfig& cfg);
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig cfg);

@@ -1,0 +1,172 @@
+// Content-addressed record cache: warm sweeps are byte-identical to cold
+// ones for any executor, entries survive across processes through the shared
+// directory, an edited scenario source turns every old entry stale, and
+// sourceless (programmatic) scenarios bypass the cache entirely.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "runner/cache.hpp"
+#include "runner/emit.hpp"
+#include "runner/journal.hpp"
+#include "runner/scenario.hpp"
+#include "runner/sweep.hpp"
+
+namespace bng::runner {
+namespace {
+
+/// A 2-point inline-source mini sweep (2 points x 2 seeds = 4 jobs below).
+/// The inline text is the scenario's cache identity, so appending `tail`
+/// changes the scenario hash without touching any resolved point config.
+Scenario cache_mini(const std::string& tail = {}) {
+  const std::string text =
+      "name = cache_mini\n"
+      "seed_base = 7400\n"
+      "base.protocol = bitcoin\n"
+      "base.block_interval = 9\n"
+      "base.max_block_size = 4000\n"
+      "axis.nodes = 12, 16\n" +
+      tail;
+  return load_scenario_string(text, "<test>", RunKnobs{16, 3});
+}
+
+/// Fresh per-test cache directory; wiped up front so a previous failed run
+/// cannot leak entries in.
+std::string fresh_dir(const char* name) {
+  const auto path =
+      std::filesystem::temp_directory_path() / (std::string("bng_cache_") + name);
+  std::filesystem::remove_all(path);
+  return path.string();
+}
+
+SweepOptions options(std::uint32_t seeds, std::uint32_t jobs) {
+  SweepOptions opt;
+  opt.seeds = seeds;
+  opt.jobs = jobs;
+  return opt;
+}
+
+/// The three emitted artifacts, concatenated: if these match, every digest,
+/// metric bit, and aggregate matched.
+std::string artifacts(const SweepResult& r) {
+  return to_json(r) + "\n--\n" + aggregate_csv(r) + "\n--\n" + seeds_csv(r);
+}
+
+TEST(RunCache, WarmRunsAreByteIdenticalAcrossJobCounts) {
+  const Scenario s = cache_mini();
+  RunCache cache(fresh_dir("warm"));
+  ActiveCacheScope scope(&cache);
+
+  const std::string cold = artifacts(run_sweep(s, options(2, 1)));
+  RunCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.misses, 4u);
+  EXPECT_EQ(c.stores, 4u);
+
+  // Warm rerun at a different width: answered entirely from the cache, and
+  // the artifacts stay byte-identical — a cache hit is indistinguishable
+  // from a recomputation.
+  EXPECT_EQ(cold, artifacts(run_sweep(s, options(2, 4))));
+  c = cache.counters();
+  EXPECT_EQ(c.hits, 4u);
+  EXPECT_EQ(c.misses, 4u);
+  EXPECT_EQ(c.stale, 0u);
+}
+
+TEST(RunCache, ProcessPoolSharesTheCacheDirectory) {
+  // Cold run under --procs 2: workers (forked children here; the exec'd
+  // `ngsim --worker --cache DIR` path opens the same directory itself)
+  // populate the shared directory. The warm in-process run then hits on
+  // every job and reproduces the artifacts byte for byte.
+  const Scenario s = cache_mini();
+  const std::string dir = fresh_dir("procs");
+
+  SweepOptions cold = options(2, 0);
+  cold.procs = 2;
+  cold.cache_dir = dir;
+  const std::string procs = artifacts(run_sweep(s, cold));
+
+  RunCache cache(dir);
+  ActiveCacheScope scope(&cache);
+  EXPECT_EQ(procs, artifacts(run_sweep(s, options(2, 2))));
+  const RunCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 4u);
+  EXPECT_EQ(c.misses, 0u);
+}
+
+TEST(RunCache, EditedScenarioSourceTurnsEntriesStale) {
+  // Same resolved config at every point, different source text: the entry
+  // files exist under the same (config digest, seed) keys but carry the old
+  // scenario hash, so every lookup is stale and the jobs recompute (to the
+  // same values — the configs really are identical).
+  RunCache cache(fresh_dir("stale"));
+  ActiveCacheScope scope(&cache);
+
+  const SweepResult first = run_sweep(cache_mini(), options(2, 1));
+  const Scenario edited = cache_mini("# edited comment, config unchanged\n");
+  const SweepResult second = run_sweep(edited, options(2, 1));
+
+  RunCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 0u);
+  EXPECT_EQ(c.stale, 4u);
+  EXPECT_EQ(c.stores, 8u);
+  EXPECT_EQ(seeds_csv(first), seeds_csv(second));
+
+  // The stale entries were overwritten in place: the edited scenario now
+  // hits, and the original — its entries overwritten — is stale in turn.
+  run_sweep(edited, options(2, 1));
+  c = cache.counters();
+  EXPECT_EQ(c.hits, 4u);
+}
+
+TEST(RunCache, SourcelessScenariosBypassTheCache) {
+  // A programmatic scenario (no ScenarioSource) has no shippable identity to
+  // key on; the cache must stay untouched rather than guess.
+  Scenario s;
+  s.name = "no_source";
+  s.seed_base = 7500;
+  s.base.num_nodes = 12;
+  s.base.target_blocks = 3;
+  s.base.drain_time = 20;
+  s.base.params = chain::Params::bitcoin();
+  s.base.params.max_block_size = 4000;
+  s.axes.push_back(Axis{
+      "block_interval",
+      {AxisValue{"9s", 9.0,
+                 [](sim::ExperimentConfig& cfg) { cfg.params.block_interval = 9.0; }}}});
+
+  RunCache cache(fresh_dir("nosrc"));
+  ActiveCacheScope scope(&cache);
+  run_sweep(s, options(2, 1));
+  const RunCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses + c.stale + c.stores, 0u);
+}
+
+TEST(RunCache, ResumedJournalRecordsWinOverCache) {
+  // A fully-journaled sweep resumed with a warm cache dispatches nothing:
+  // journal prefills claim every job before the cache could answer.
+  const Scenario s = cache_mini();
+  const std::string journal =
+      (std::filesystem::temp_directory_path() / "bng_cache_resume.journal").string();
+  std::filesystem::remove(journal);
+
+  RunCache cache(fresh_dir("resume"));
+  ActiveCacheScope scope(&cache);
+
+  SweepOptions first = options(2, 1);
+  first.journal_path = journal;
+  const std::string cold = artifacts(run_sweep(s, first));
+  const RunCache::Counters before = cache.counters();
+
+  SweepOptions resumed = options(2, 1);
+  resumed.journal_path = journal;
+  resumed.resume = true;
+  EXPECT_EQ(cold, artifacts(run_sweep(s, resumed)));
+  const RunCache::Counters after = cache.counters();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+}  // namespace
+}  // namespace bng::runner

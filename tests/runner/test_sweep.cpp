@@ -155,9 +155,12 @@ TEST(Emit, SeedsCsvUnionsPerPointMetricSets) {
 // FNV-1a digests of the smoke / fig6 / fig7 scenarios, recorded on the
 // pre-refactor simulation core (PR 2 tree) and asserted unchanged since: a
 // core rewrite that alters any of these changed simulation *semantics*, not
-// just speed. Values are exact for this container's toolchain; libm may
-// differ by an ulp across glibc versions (the RNG's exponential sampling),
-// so foreign machines can opt out via BNG_SKIP_GOLDEN_DIGEST=1.
+// just speed. Re-recorded when the record schema gained the propagation-delay
+// percentiles + histogram (the digest covers metric names as well as values;
+// the pre-existing metrics' values were verified unchanged). Values are exact
+// for this container's toolchain; libm may differ by an ulp across glibc
+// versions (the RNG's exponential sampling), so foreign machines can opt out
+// via BNG_SKIP_GOLDEN_DIGEST=1.
 namespace golden {
 
 struct SeedDigest {
@@ -190,9 +193,9 @@ TEST(GoldenDigest, SmokeScenarioUnchangedByCoreRefactors) {
   const auto r = run_sweep(*s, options(2, 2));
   ASSERT_EQ(r.points.size(), 2u);  // bitcoin, ng
   golden::expect_digests(r, 0,
-                         {{100, 0xa0dcf111762417d6ull}, {101, 0xc153bcc6235bda08ull}});
+                         {{100, 0x9bf950c7681662e0ull}, {101, 0x1e9d06d1579a80d7ull}});
   golden::expect_digests(
-      r, 1, {{1000100, 0x24317e20288f5588ull}, {1000101, 0x5f64100e7be9f2f0ull}});
+      r, 1, {{1000100, 0xf444f6abe38efb72ull}, {1000101, 0xb05c403ff3a9293eull}});
 }
 
 TEST(GoldenDigest, Fig6ScenarioUnchangedByCoreRefactors) {
@@ -205,9 +208,9 @@ TEST(GoldenDigest, Fig6ScenarioUnchangedByCoreRefactors) {
   s->axes[0].values.resize(2);
   const auto r = run_sweep(*s, options(2, 2));
   golden::expect_digests(r, 0,
-                         {{600, 0xa1acd14989606729ull}, {601, 0xa9226143f23b39eeull}});
+                         {{600, 0x8b2449c1cd0530e1ull}, {601, 0xd7c8192c78f51828ull}});
   golden::expect_digests(
-      r, 1, {{1000600, 0x711ff60d68b341c2ull}, {1000601, 0x44ad4cba0bb56405ull}});
+      r, 1, {{1000600, 0xc4437912728f02b6ull}, {1000601, 0x01966980e4b31c99ull}});
 }
 
 TEST(GoldenDigest, Fig7ScenarioUnchangedByCoreRefactors) {
@@ -218,9 +221,9 @@ TEST(GoldenDigest, Fig7ScenarioUnchangedByCoreRefactors) {
   s->axes[0].values.resize(2);  // 20 kB and 40 kB points
   const auto r = run_sweep(*s, options(2, 2));
   golden::expect_digests(r, 0,
-                         {{700, 0x355ce007fc2316a7ull}, {701, 0xfe8c66ce5d395954ull}});
+                         {{700, 0x78b10227e36444afull}, {701, 0xa86a0611f9fc8aebull}});
   golden::expect_digests(
-      r, 1, {{1000700, 0x6232f74a15cb6639ull}, {1000701, 0xec109bd64ee843afull}});
+      r, 1, {{1000700, 0xc954453751536621ull}, {1000701, 0xeea92a31fdb89db0ull}});
 }
 
 TEST(GoldenDigest, Fig8aScenarioUnchangedByCoreRefactors) {
@@ -234,13 +237,13 @@ TEST(GoldenDigest, Fig8aScenarioUnchangedByCoreRefactors) {
   const auto r = run_sweep(*s, options(2, 2));
   ASSERT_EQ(r.points.size(), 4u);
   golden::expect_digests(
-      r, 0, {{8100, 0xbdc086c64980f5ebull}, {8101, 0xb67ba22ca7ac90f1ull}});
+      r, 0, {{8100, 0x00ad98b3d99eb304ull}, {8101, 0xc4932572c2b7dbdeull}});
   golden::expect_digests(
-      r, 1, {{1008100, 0xa35fa180968aedb1ull}, {1008101, 0x61c11a2a574100c5ull}});
+      r, 1, {{1008100, 0xf2369d8e34bb6ceaull}, {1008101, 0xab78bfd0d544b8edull}});
   golden::expect_digests(
-      r, 2, {{2008100, 0x4c692b49546dfaecull}, {2008101, 0x1f18b89fb8ac6b75ull}});
+      r, 2, {{2008100, 0xcd13064cd696f84dull}, {2008101, 0x7177b2c68c92a8f6ull}});
   golden::expect_digests(
-      r, 3, {{3008100, 0x93345961f183303eull}, {3008101, 0x337ef1efe3d904f0ull}});
+      r, 3, {{3008100, 0xaf3a50cc79f0fecbull}, {3008101, 0xeb9bbd0c94d81ff8ull}});
 }
 
 TEST(GoldenDigest, Fig8bScenarioUnchangedByCoreRefactors) {
@@ -252,13 +255,13 @@ TEST(GoldenDigest, Fig8bScenarioUnchangedByCoreRefactors) {
   const auto r = run_sweep(*s, options(2, 2));
   ASSERT_EQ(r.points.size(), 4u);
   golden::expect_digests(
-      r, 0, {{8200, 0x302181edb06c9676ull}, {8201, 0x1c49a9bcd300f6ddull}});
+      r, 0, {{8200, 0x17c12178ad5f6508ull}, {8201, 0x84d323f4d23ef4dbull}});
   golden::expect_digests(
-      r, 1, {{1008200, 0xd0283640f2c7dde3ull}, {1008201, 0xd05bcda541dce461ull}});
+      r, 1, {{1008200, 0xe1923c184b94d986ull}, {1008201, 0x1667c9f9ae8f3468ull}});
   golden::expect_digests(
-      r, 2, {{2008200, 0xc8389c944b48edc6ull}, {2008201, 0x5e568d1f7d0e7f54ull}});
+      r, 2, {{2008200, 0x3531b748dad8a7f8ull}, {2008201, 0x1ba9106f2294ad4eull}});
   golden::expect_digests(
-      r, 3, {{3008200, 0x09930ad32b613390ull}, {3008201, 0xc0ea6a1652d82428ull}});
+      r, 3, {{3008200, 0x5770e8f2fa280464ull}, {3008201, 0x8ae90793f5fac698ull}});
 }
 
 TEST(Sweep, AttackScenariosAreJobsInvariant) {
